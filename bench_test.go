@@ -1,0 +1,324 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark prints (or reports as metrics) the same series the paper
+// plots; run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks come in two flavours: *Sim runs the deterministic
+// 64-core discrete-event model (paper-shape results on any host), *Live runs
+// the real engines on this machine. EXPERIMENTS.md records paper-vs-measured
+// for every entry.
+package rinval_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ssrg-vt/rinval/internal/bench"
+	"github.com/ssrg-vt/rinval/internal/sim"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// paperThreads is the thread axis the paper sweeps.
+var paperThreads = []int{2, 4, 8, 16, 24, 32, 48, 64}
+
+// reportSeries publishes one throughput metric per (algo, threads) cell.
+func reportSeries(b *testing.B, t *bench.Table) {
+	b.Helper()
+	for _, r := range t.Rows {
+		b.ReportMetric(r.KTxPerSec, r.Algo+"/"+itoa(r.Threads)+"_ktx/s")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Figure 2: red-black tree critical-path breakdown ---
+
+func BenchmarkFigure2Sim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.SimFigure2([]int{8, 16, 32, 48}, 1)
+		if i == 0 {
+			for _, r := range t.Rows {
+				b.ReportMetric(100*r.CommitFrac, r.Algo+"/"+itoa(r.Threads)+"_commit%")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure2Live(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.LiveFigure2([]int{2, 4}, 50*time.Millisecond, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range t.Rows {
+				b.ReportMetric(100*r.CommitFrac, r.Algo+"/"+itoa(r.Threads)+"_commit%")
+			}
+		}
+	}
+}
+
+// --- Figure 3: STAMP breakdown ---
+
+func BenchmarkFigure3Sim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.SimFigure3(32, 1)
+		if i == 0 {
+			for _, r := range t.Rows {
+				b.ReportMetric(100*r.CommitFrac, r.Algo+"_commit%")
+			}
+		}
+	}
+}
+
+// --- Figure 7: red-black tree throughput ---
+
+func BenchmarkFigure7aSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.SimFigure7(50, paperThreads, 1)
+		if i == 0 {
+			reportSeries(b, t)
+		}
+	}
+}
+
+func BenchmarkFigure7bSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.SimFigure7(80, paperThreads, 1)
+		if i == 0 {
+			reportSeries(b, t)
+		}
+	}
+}
+
+func BenchmarkFigure7aLive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.LiveFigure7(50, []int{2, 4}, 50*time.Millisecond, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, t)
+		}
+	}
+}
+
+func BenchmarkFigure7bLive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.LiveFigure7(80, []int{2, 4}, 50*time.Millisecond, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportSeries(b, t)
+		}
+	}
+}
+
+// --- Figure 8: STAMP execution times (one benchmark per panel) ---
+
+func benchFig8Sim(b *testing.B, app string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.SimFigure8(app, paperThreads, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range t.Rows {
+				b.ReportMetric(r.Elapsed.Seconds()*1e3, r.Algo+"/"+itoa(r.Threads)+"_ms")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure8KmeansSim(b *testing.B)    { benchFig8Sim(b, "kmeans") }
+func BenchmarkFigure8Ssca2Sim(b *testing.B)     { benchFig8Sim(b, "ssca2") }
+func BenchmarkFigure8LabyrinthSim(b *testing.B) { benchFig8Sim(b, "labyrinth") }
+func BenchmarkFigure8IntruderSim(b *testing.B)  { benchFig8Sim(b, "intruder") }
+func BenchmarkFigure8GenomeSim(b *testing.B)    { benchFig8Sim(b, "genome") }
+func BenchmarkFigure8VacationSim(b *testing.B)  { benchFig8Sim(b, "vacation") }
+
+func benchFig8Live(b *testing.B, app string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := bench.LiveFigure8(app, []int{2, 4}, bench.ScaleSmall, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range t.Rows {
+				b.ReportMetric(r.Elapsed.Seconds()*1e3, r.Algo+"/"+itoa(r.Threads)+"_ms")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure8KmeansLive(b *testing.B)    { benchFig8Live(b, "kmeans") }
+func BenchmarkFigure8Ssca2Live(b *testing.B)     { benchFig8Live(b, "ssca2") }
+func BenchmarkFigure8LabyrinthLive(b *testing.B) { benchFig8Live(b, "labyrinth") }
+func BenchmarkFigure8IntruderLive(b *testing.B)  { benchFig8Live(b, "intruder") }
+func BenchmarkFigure8GenomeLive(b *testing.B)    { benchFig8Live(b, "genome") }
+func BenchmarkFigure8VacationLive(b *testing.B)  { benchFig8Live(b, "vacation") }
+func BenchmarkFigure3BayesLive(b *testing.B)     { benchFig8Live(b, "bayes") }
+
+// --- Ablations (DESIGN.md A1-A4) ---
+
+// BenchmarkAblationInvalServers sweeps RInval-V2's invalidation-server
+// count (paper §IV-B: 4-8 suffice on 64 cores).
+func BenchmarkAblationInvalServers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.SimAblationInvalServers([]int{1, 2, 4, 8, 16}, 48, 1)
+		if i == 0 {
+			for _, r := range t.Rows {
+				b.ReportMetric(r.KTxPerSec, r.Algo+"_ktx/s")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationStepsAhead sweeps RInval-V3's step-ahead window under
+// injected invalidation-server delay (paper §IV-C: V3 tolerates a lagging
+// server; without lag V3 ~= V2).
+func BenchmarkAblationStepsAhead(b *testing.B) {
+	p := sim.DefaultParams()
+	w := sim.RBTree(50)
+	for i := 0; i < b.N; i++ {
+		for _, steps := range []int{1, 2, 4, 8} {
+			c := sim.DefaultConfig(sim.RInvalV3, 48)
+			c.StepsAhead = steps
+			c.Duration = 10_000_000
+			r := sim.MustRun(p, w, c)
+			if i == 0 {
+				b.ReportMetric(r.ThroughputKTxPerSec(p), "steps"+itoa(steps)+"_ktx/s")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBloomBits runs the live false-conflict sweep: smaller
+// read/write signatures doom more readers spuriously.
+func BenchmarkAblationBloomBits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.LiveAblationBloomBits([]int{64, 1024}, 2, 40*time.Millisecond, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range t.Rows {
+				b.ReportMetric(float64(r.Aborts), r.Algo+"_aborts")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationCM compares contention managers on the live tree: the
+// paper's committer-wins base rule, its backoff CM, and the future-work
+// reader-biased CM (§V).
+func BenchmarkAblationCM(b *testing.B) {
+	for _, cm := range []stm.CMPolicy{stm.CMCommitterWins, stm.CMBackoff, stm.CMReaderBiased} {
+		cm := cm
+		b.Run(cm.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys, err := stm.New(stm.Config{
+					Algo: stm.RInvalV2, MaxThreads: 4, InvalServers: 2, CM: cm,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				counter := stm.NewVar(0)
+				th := sys.MustRegister()
+				for j := 0; j < 200; j++ {
+					_ = th.Atomically(func(tx *stm.Tx) error {
+						counter.Store(tx, counter.Load(tx)+1)
+						return nil
+					})
+				}
+				th.Close()
+				if err := sys.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReadSetSize sweeps transaction read-set size — the
+// paper's §II validation-vs-invalidation cost argument.
+func BenchmarkAblationReadSetSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.SimAblationReadSetSize([]int{8, 128}, 16, 1)
+		if i == 0 {
+			for _, r := range t.Rows {
+				b.ReportMetric(r.KTxPerSec, r.Algo+"_ktx/s")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationCoarseVsFine compares the coarse family against the
+// TL2-style fine-grained baseline (§III granularity trade-off).
+func BenchmarkAblationCoarseVsFine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := bench.SimAblationCoarseVsFine([]int{4, 48}, 1)
+		if i == 0 {
+			for _, r := range t.Rows {
+				b.ReportMetric(r.KTxPerSec, r.Algo+"/"+itoa(r.Threads)+"_ktx/s")
+			}
+		}
+	}
+}
+
+// BenchmarkLatencyProfile reports live per-transaction latency percentiles.
+func BenchmarkLatencyProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.LiveLatencyProfile([]stm.Algo{stm.NOrec, stm.RInvalV2}, 2, 40*time.Millisecond, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range t.Rows {
+				b.ReportMetric(float64(r.P99.Nanoseconds()), r.Algo+"_p99ns")
+			}
+		}
+	}
+}
+
+// BenchmarkEngineSingleThreadOverhead measures the per-transaction cost of
+// each engine with no contention — the "price of generality" the paper's
+// Figure 1 discusses.
+func BenchmarkEngineSingleThreadOverhead(b *testing.B) {
+	for _, a := range stm.Algos {
+		a := a
+		b.Run(a.String(), func(b *testing.B) {
+			sys, err := stm.New(stm.Config{Algo: a, MaxThreads: 2, InvalServers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			th := sys.MustRegister()
+			defer th.Close()
+			v := stm.NewVar(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = th.Atomically(func(tx *stm.Tx) error {
+					v.Store(tx, v.Load(tx)+1)
+					return nil
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunDispatchSim(t *testing.T) {
+	ths := []int{2, 4}
+	cases := []struct {
+		exp    string
+		tables int
+	}{
+		{"fig7a", 1},
+		{"fig7b", 1},
+		{"fig2", 1},
+		{"fig3", 1},
+		{"ablK", 1},
+		{"ablJitter", 1},
+		{"ablSteps", 1},
+		{"ablReadSet", 1},
+		{"ablTL2", 1},
+		{"fig8", 6},
+	}
+	for _, c := range cases {
+		got, err := run(c.exp, "sim", ths, "", 20*time.Millisecond, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.exp, err)
+		}
+		if len(got) != c.tables {
+			t.Fatalf("%s: %d tables, want %d", c.exp, len(got), c.tables)
+		}
+		for _, tb := range got {
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s: empty table %q", c.exp, tb.Title)
+			}
+		}
+	}
+}
+
+func TestRunFig8SingleApp(t *testing.T) {
+	got, err := run("fig8", "sim", []int{2}, "genome", time.Millisecond, 1)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %d tables, err %v", len(got), err)
+	}
+}
+
+func TestRunDispatchErrors(t *testing.T) {
+	ths := []int{2}
+	for _, c := range []struct{ exp, mode string }{
+		{"nope", "sim"},
+		{"fig7a", "warp"},
+		{"fig3", "live"},
+		{"ablK", "live"},
+		{"ablJitter", "live"},
+		{"ablSteps", "live"},
+		{"ablTL2", "live"},
+		{"ablBloom", "sim"},
+		{"fig8", "sim"}, // with bogus app below
+	} {
+		app := ""
+		if c.exp == "fig8" {
+			app = "bogus"
+		}
+		if _, err := run(c.exp, c.mode, ths, app, time.Millisecond, 1); err == nil {
+			t.Errorf("run(%s,%s) accepted", c.exp, c.mode)
+		}
+	}
+}
+
+func TestRunLiveQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live run")
+	}
+	got, err := run("fig7a", "live", []int{2}, "", 15*time.Millisecond, 1)
+	if err != nil || len(got) != 1 || len(got[0].Rows) != 4 {
+		t.Fatalf("live fig7a: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+// Command rinval-sim explores the discrete-event model of the paper's
+// 64-core testbed directly: pick an engine, a workload, and a scale, and
+// inspect throughput, abort rate, and the critical-path breakdown.
+//
+// Usage:
+//
+//	rinval-sim -engine rinval-v2 -workload rbtree50 -threads 48
+//	rinval-sim -engine norec -workload genome -threads 64 -duration 100000000
+//	rinval-sim -sweep -workload rbtree80        # all engines x thread curve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/ssrg-vt/rinval/internal/sim"
+)
+
+func main() {
+	var (
+		engine   = flag.String("engine", "rinval-v2", "engine: mutex|norec|invalstm|rinval-v1|rinval-v2|rinval-v3")
+		workload = flag.String("workload", "rbtree50", "rbtree<readpct> or a STAMP app name")
+		threads  = flag.Int("threads", 48, "application threads")
+		servers  = flag.Int("servers", 4, "invalidation servers (v2/v3)")
+		steps    = flag.Int("steps", 2, "steps ahead (v3)")
+		cores    = flag.Int("cores", 64, "modeled cores")
+		duration = flag.Uint64("duration", 50_000_000, "simulated cycles")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		sweep    = flag.Bool("sweep", false, "run every engine across a thread sweep")
+	)
+	flag.Parse()
+
+	w, err := parseWorkload(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	p := sim.DefaultParams()
+
+	if *sweep {
+		fmt.Printf("workload %s on %d modeled cores (%d cycles)\n", w.Name, *cores, *duration)
+		fmt.Printf("%-12s", "threads")
+		for _, e := range sim.Engines {
+			fmt.Printf("%12s", e)
+		}
+		fmt.Println(" (K tx/s)")
+		for _, n := range []int{2, 4, 8, 16, 24, 32, 48, 64} {
+			fmt.Printf("%-12d", n)
+			for _, e := range sim.Engines {
+				r := runOne(p, w, e, n, *servers, *steps, *cores, *duration, *seed)
+				fmt.Printf("%12.0f", r.ThroughputKTxPerSec(p))
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	e, err := sim.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	r := runOne(p, w, e, *threads, *servers, *steps, *cores, *duration, *seed)
+	read, commit, abort, other := r.Breakdown()
+	fmt.Printf("engine      %s\n", e)
+	fmt.Printf("workload    %s\n", w.Name)
+	fmt.Printf("threads     %d on %d modeled cores\n", *threads, *cores)
+	fmt.Printf("commits     %d\n", r.Commits)
+	fmt.Printf("aborts      %d (%.1f%%)\n", r.Aborts, 100*r.AbortRate())
+	fmt.Printf("throughput  %.0f K tx/s\n", r.ThroughputKTxPerSec(p))
+	fmt.Printf("breakdown   read %.1f%%  commit %.1f%%  abort %.1f%%  other %.1f%%\n",
+		100*read, 100*commit, 100*abort, 100*other)
+}
+
+func runOne(p sim.Params, w sim.Workload, e sim.Engine, threads, servers, steps, cores int, dur, seed uint64) sim.Result {
+	c := sim.Config{
+		Engine:       e,
+		Threads:      threads,
+		InvalServers: servers,
+		StepsAhead:   steps,
+		Cores:        cores,
+		Duration:     dur,
+		Seed:         seed,
+	}
+	r, err := sim.Run(p, w, c)
+	if err != nil {
+		fatal(err)
+	}
+	return r
+}
+
+func parseWorkload(s string) (sim.Workload, error) {
+	if strings.HasPrefix(s, "rbtree") {
+		pct := 50
+		if rest := strings.TrimPrefix(s, "rbtree"); rest != "" {
+			if _, err := fmt.Sscanf(rest, "%d", &pct); err != nil || pct < 0 || pct > 100 {
+				return sim.Workload{}, fmt.Errorf("bad rbtree read percentage in %q", s)
+			}
+		}
+		return sim.RBTree(pct), nil
+	}
+	if w, ok := sim.STAMP(s); ok {
+		return w, nil
+	}
+	return sim.Workload{}, fmt.Errorf("unknown workload %q (rbtree<pct> or %s)", s, strings.Join(sim.STAMPNames, "|"))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rinval-sim:", err)
+	os.Exit(1)
+}

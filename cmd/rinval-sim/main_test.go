@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/ssrg-vt/rinval/internal/sim"
+)
+
+func TestParseWorkload(t *testing.T) {
+	w, err := parseWorkload("rbtree")
+	if err != nil || w.Name != "rbtree" || w.ReadOnlyFrac != 0.5 {
+		t.Fatalf("rbtree default: %+v %v", w, err)
+	}
+	w, err = parseWorkload("rbtree80")
+	if err != nil || w.ReadOnlyFrac != 0.8 {
+		t.Fatalf("rbtree80: %+v %v", w, err)
+	}
+	for _, name := range sim.STAMPNames {
+		w, err := parseWorkload(name)
+		if err != nil || w.Name != name {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	for _, bad := range []string{"rbtree-5", "rbtree101", "rbtreex", "zork"} {
+		if _, err := parseWorkload(bad); err == nil {
+			t.Errorf("parseWorkload(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunOne(t *testing.T) {
+	p := sim.DefaultParams()
+	w := sim.RBTree(50)
+	r := runOne(p, w, sim.RInvalV2, 8, 2, 2, 64, 1_000_000, 1)
+	if r.Commits == 0 || r.Threads != 8 {
+		t.Fatalf("result %+v", r)
+	}
+}

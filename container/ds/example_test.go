@@ -1,0 +1,105 @@
+package ds_test
+
+import (
+	"fmt"
+
+	"github.com/ssrg-vt/rinval/container/ds"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// A transactional map supports atomic multi-key updates that a sharded
+// mutex map cannot express without deadlock-prone lock ordering.
+func ExampleMap() {
+	sys := stm.MustNew(stm.Config{Algo: stm.RInvalV2, MaxThreads: 4, InvalServers: 2})
+	defer sys.Close()
+	th := sys.MustRegister()
+	defer th.Close()
+
+	inventory := ds.NewMap[string, int](16, ds.HashString)
+	_ = th.Atomically(func(tx *stm.Tx) error {
+		inventory.Put(tx, "apples", 10)
+		inventory.Put(tx, "oranges", 5)
+		return nil
+	})
+	// Atomically move stock between keys.
+	_ = th.Atomically(func(tx *stm.Tx) error {
+		a, _ := inventory.Get(tx, "apples")
+		o, _ := inventory.Get(tx, "oranges")
+		inventory.Put(tx, "apples", a-3)
+		inventory.Put(tx, "oranges", o+3)
+		return nil
+	})
+	var apples, oranges int
+	_ = th.Atomically(func(tx *stm.Tx) error {
+		apples, _ = inventory.Get(tx, "apples")
+		oranges, _ = inventory.Get(tx, "oranges")
+		return nil
+	})
+	fmt.Println(apples, oranges)
+	// Output: 7 8
+}
+
+// The queue composes with other structures: dequeue + record in one atomic
+// step gives exactly-once hand-off.
+func ExampleQueue() {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 2, InvalServers: 1})
+	defer sys.Close()
+	th := sys.MustRegister()
+	defer th.Close()
+
+	q := ds.NewQueue[string]()
+	seen := ds.NewMap[string, bool](8, ds.HashString)
+	_ = th.Atomically(func(tx *stm.Tx) error {
+		q.Enqueue(tx, "a")
+		q.Enqueue(tx, "b")
+		return nil
+	})
+	for {
+		var v string
+		var ok bool
+		_ = th.Atomically(func(tx *stm.Tx) error {
+			v, ok = q.Dequeue(tx)
+			if ok {
+				seen.Put(tx, v, true)
+			}
+			return nil
+		})
+		if !ok {
+			break
+		}
+		fmt.Println(v)
+	}
+	// Output:
+	// a
+	// b
+}
+
+// The priority queue orders work by key; PopMin inside a transaction makes
+// claim-and-mark atomic.
+func ExamplePQueue() {
+	sys := stm.MustNew(stm.Config{Algo: stm.RInvalV1, MaxThreads: 2})
+	defer sys.Close()
+	th := sys.MustRegister()
+	defer th.Close()
+
+	pq := ds.NewPQueue()
+	_ = th.Atomically(func(tx *stm.Tx) error {
+		pq.Insert(tx, 30, 300)
+		pq.Insert(tx, 10, 100)
+		pq.Insert(tx, 20, 200)
+		return nil
+	})
+	_ = th.Atomically(func(tx *stm.Tx) error {
+		for {
+			k, v, ok := pq.PopMin(tx)
+			if !ok {
+				return nil
+			}
+			fmt.Println(k, v)
+		}
+	})
+	// Output:
+	// 10 100
+	// 20 200
+	// 30 300
+}

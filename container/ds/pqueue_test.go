@@ -1,0 +1,180 @@
+package ds
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+func TestPQueueBasics(t *testing.T) {
+	_, th := newSys(t, stm.NOrec)
+	q := NewPQueue()
+	_ = th.Atomically(func(tx *stm.Tx) error {
+		if _, _, ok := q.Min(tx); ok {
+			t.Error("Min on empty succeeded")
+		}
+		if _, _, ok := q.PopMin(tx); ok {
+			t.Error("PopMin on empty succeeded")
+		}
+		q.Insert(tx, 5, 50)
+		q.Insert(tx, 1, 10)
+		q.Insert(tx, 9, 90)
+		q.Insert(tx, 1, 11) // duplicate keys allowed
+		if q.Size(tx) != 4 {
+			t.Errorf("size %d", q.Size(tx))
+		}
+		k, _, ok := q.Min(tx)
+		if !ok || k != 1 {
+			t.Errorf("min %d", k)
+		}
+		var popped []int
+		for {
+			k, _, ok := q.PopMin(tx)
+			if !ok {
+				break
+			}
+			popped = append(popped, k)
+		}
+		if !sort.IntsAreSorted(popped) || len(popped) != 4 {
+			t.Errorf("popped %v", popped)
+		}
+		return nil
+	})
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPQueueHeapSortMatchesSort(t *testing.T) {
+	_, th := newSys(t, stm.NOrec)
+	f := func(keys []int16) bool {
+		q := NewPQueue()
+		want := make([]int, len(keys))
+		err := th.Atomically(func(tx *stm.Tx) error {
+			for i, k := range keys {
+				q.Insert(tx, int(k), i)
+				want[i] = int(k)
+			}
+			return nil
+		})
+		if err != nil || q.CheckInvariants() != nil {
+			return false
+		}
+		sort.Ints(want)
+		var got []int
+		err = th.Atomically(func(tx *stm.Tx) error {
+			for {
+				k, _, ok := q.PopMin(tx)
+				if !ok {
+					return nil
+				}
+				got = append(got, k)
+			}
+		})
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPQueueValuesTravelWithKeys(t *testing.T) {
+	_, th := newSys(t, stm.RInvalV1)
+	q := NewPQueue()
+	_ = th.Atomically(func(tx *stm.Tx) error {
+		for i := 10; i >= 1; i-- {
+			q.Insert(tx, i, i*100)
+		}
+		for want := 1; want <= 10; want++ {
+			k, v, ok := q.PopMin(tx)
+			if !ok || k != want || v != want*100 {
+				t.Errorf("pop %d: got (%d,%d,%v)", want, k, v, ok)
+			}
+		}
+		return nil
+	})
+}
+
+func TestPQueueConcurrentMultisetConservation(t *testing.T) {
+	for _, algo := range []stm.Algo{stm.NOrec, stm.InvalSTM, stm.RInvalV2, stm.TL2} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			sys, _ := newSys(t, algo)
+			q := NewPQueue()
+			const producers, per = 3, 50
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				p := p
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := sys.MustRegister()
+					defer th.Close()
+					rng := rand.New(rand.NewSource(int64(p)))
+					for i := 0; i < per; i++ {
+						k := rng.Intn(1000)
+						_ = th.Atomically(func(tx *stm.Tx) error {
+							q.Insert(tx, k, p*per+i)
+							return nil
+						})
+					}
+				}()
+			}
+			// Concurrent consumer drains half.
+			var drained []int
+			var mu sync.Mutex
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := sys.MustRegister()
+				defer th.Close()
+				got := 0
+				for got < producers*per/2 {
+					var k int
+					var ok bool
+					_ = th.Atomically(func(tx *stm.Tx) error {
+						k, _, ok = q.PopMin(tx)
+						return nil
+					})
+					if ok {
+						mu.Lock()
+						drained = append(drained, k)
+						mu.Unlock()
+						got++
+					}
+				}
+			}()
+			wg.Wait()
+			if err := q.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// Drain the rest single-threaded; total must be conserved.
+			th := sys.MustRegister()
+			defer th.Close()
+			rest := 0
+			_ = th.Atomically(func(tx *stm.Tx) error {
+				for {
+					if _, _, ok := q.PopMin(tx); !ok {
+						return nil
+					}
+					rest++
+				}
+			})
+			if len(drained)+rest != producers*per {
+				t.Fatalf("lost elements: %d + %d != %d", len(drained), rest, producers*per)
+			}
+		})
+	}
+}

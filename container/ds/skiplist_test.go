@@ -1,0 +1,211 @@
+package ds
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+func TestSkipListBasics(t *testing.T) {
+	_, th := newSys(t, stm.NOrec)
+	s := NewSkipList()
+	_ = th.Atomically(func(tx *stm.Tx) error {
+		if s.Contains(tx, 5) || s.Size(tx) != 0 {
+			t.Error("empty list wrong")
+		}
+		if !s.Insert(tx, 5, 50) || !s.Insert(tx, 1, 10) || !s.Insert(tx, 9, 90) {
+			t.Error("insert failed")
+		}
+		if s.Insert(tx, 5, 55) {
+			t.Error("duplicate insert returned true")
+		}
+		if v, ok := s.Get(tx, 5); !ok || v != 55 {
+			t.Errorf("Get(5)=%d,%v", v, ok)
+		}
+		if _, ok := s.Get(tx, 4); ok {
+			t.Error("Get(4) found phantom")
+		}
+		if s.RangeCount(tx, 1, 9) != 2 || s.RangeCount(tx, 0, 100) != 3 {
+			t.Error("RangeCount wrong")
+		}
+		if !s.Delete(tx, 5) || s.Delete(tx, 5) {
+			t.Error("delete semantics wrong")
+		}
+		if s.Size(tx) != 2 {
+			t.Errorf("size %d", s.Size(tx))
+		}
+		return nil
+	})
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	keys := s.KeysQuiescent()
+	if len(keys) != 2 || keys[0] != 1 || keys[1] != 9 {
+		t.Fatalf("keys %v", keys)
+	}
+}
+
+func TestSkipListLevelForDeterministicBounded(t *testing.T) {
+	for k := -500; k < 500; k++ {
+		l1, l2 := levelFor(k), levelFor(k)
+		if l1 != l2 {
+			t.Fatal("levelFor not deterministic")
+		}
+		if l1 < 1 || l1 > slMaxLevel {
+			t.Fatalf("levelFor(%d) = %d out of range", k, l1)
+		}
+	}
+	// Heights should look geometric: most nodes at level 1-2, few tall.
+	tall := 0
+	for k := 0; k < 4096; k++ {
+		if levelFor(k) > 6 {
+			tall++
+		}
+	}
+	if tall == 0 || tall > 512 {
+		t.Fatalf("suspicious height distribution: %d/4096 above level 6", tall)
+	}
+}
+
+func TestSkipListMatchesModel(t *testing.T) {
+	_, th := newSys(t, stm.NOrec)
+	type op struct {
+		Key  int16
+		Val  int16
+		Kind uint8
+	}
+	f := func(ops []op) bool {
+		s := NewSkipList()
+		model := map[int]int{}
+		for _, o := range ops {
+			k := int(o.Key) % 128
+			var bad bool
+			err := th.Atomically(func(tx *stm.Tx) error {
+				switch o.Kind % 3 {
+				case 0:
+					_, existed := model[k]
+					if s.Insert(tx, k, int(o.Val)) == existed {
+						bad = true
+					}
+				case 1:
+					_, existed := model[k]
+					if s.Delete(tx, k) != existed {
+						bad = true
+					}
+				case 2:
+					v, ok := s.Get(tx, k)
+					mv, existed := model[k]
+					if ok != existed || (ok && v != mv) {
+						bad = true
+					}
+				}
+				return nil
+			})
+			if err != nil || bad {
+				return false
+			}
+			switch o.Kind % 3 {
+			case 0:
+				model[k] = int(o.Val)
+			case 1:
+				delete(model, k)
+			}
+			if s.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListSortedAfterRandomInserts(t *testing.T) {
+	_, th := newSys(t, stm.RInvalV2)
+	s := NewSkipList()
+	keys := rand.New(rand.NewSource(5)).Perm(300)
+	for _, k := range keys {
+		k := k
+		_ = th.Atomically(func(tx *stm.Tx) error {
+			s.Insert(tx, k, k)
+			return nil
+		})
+	}
+	got := s.KeysQuiescent()
+	if len(got) != 300 || !sort.IntsAreSorted(got) {
+		t.Fatalf("len=%d sorted=%v", len(got), sort.IntsAreSorted(got))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListConcurrentMixed(t *testing.T) {
+	for _, algo := range []stm.Algo{stm.NOrec, stm.InvalSTM, stm.RInvalV2, stm.TL2} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			sys, _ := newSys(t, algo)
+			s := NewSkipList()
+			const workers, per = 4, 120
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := sys.MustRegister()
+					defer th.Close()
+					rng := rand.New(rand.NewSource(int64(w)))
+					for i := 0; i < per; i++ {
+						k := rng.Intn(256)
+						switch rng.Intn(3) {
+						case 0:
+							_ = th.Atomically(func(tx *stm.Tx) error { s.Insert(tx, k, k); return nil })
+						case 1:
+							_ = th.Atomically(func(tx *stm.Tx) error { s.Delete(tx, k); return nil })
+						default:
+							_ = th.Atomically(func(tx *stm.Tx) error { s.Contains(tx, k); return nil })
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSkipListErrorsDescriptive(t *testing.T) {
+	for _, e := range []error{errOrder(1, 2, 3), errOrphan(1, 2), errHeight(1, 2), errSize(1, 2)} {
+		if e.Error() == "" {
+			t.Fatal("empty error text")
+		}
+	}
+	if itoa(-42) != "-42" || itoa(0) != "0" || itoa(1234) != "1234" {
+		t.Fatal("itoa broken")
+	}
+}
+
+func BenchmarkSkipListContains(b *testing.B) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec})
+	defer sys.Close()
+	th := sys.MustRegister()
+	defer th.Close()
+	s := NewSkipList()
+	for i := 0; i < 4096; i++ {
+		i := i
+		_ = th.Atomically(func(tx *stm.Tx) error { s.Insert(tx, i, i); return nil })
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % 4096
+		_ = th.Atomically(func(tx *stm.Tx) error { s.Contains(tx, k); return nil })
+	}
+}

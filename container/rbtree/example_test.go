@@ -1,0 +1,40 @@
+package rbtree_test
+
+import (
+	"fmt"
+
+	"github.com/ssrg-vt/rinval/container/rbtree"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// The tree is an ordered transactional map; lookups, inserts, and deletes
+// compose into larger atomic operations.
+func ExampleTree() {
+	sys := stm.MustNew(stm.Config{Algo: stm.RInvalV2, MaxThreads: 4, InvalServers: 2})
+	defer sys.Close()
+	th := sys.MustRegister()
+	defer th.Close()
+
+	prices := rbtree.New()
+	_ = th.Atomically(func(tx *stm.Tx) error {
+		prices.Insert(tx, 100, 5)
+		prices.Insert(tx, 200, 7)
+		prices.Insert(tx, 150, 6)
+		return nil
+	})
+	// Atomic read-modify across keys: move quantity from one price level to
+	// another, observing a consistent book throughout.
+	_ = th.Atomically(func(tx *stm.Tx) error {
+		q, _ := prices.Get(tx, 100)
+		prices.Delete(tx, 100)
+		old, _ := prices.Get(tx, 150)
+		prices.Insert(tx, 150, old+q)
+		return nil
+	})
+	fmt.Println(prices.Keys())
+	v, _ := prices.GetQuiescent(150)
+	fmt.Println(v)
+	// Output:
+	// [150 200]
+	// 11
+}

@@ -1,0 +1,70 @@
+package rbtree
+
+import (
+	"testing"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// FuzzTreeVsModel drives the transactional tree from an arbitrary byte
+// program (2 bytes per op: opcode, key) against a map model, checking
+// results and red-black invariants after every operation.
+func FuzzTreeVsModel(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 20, 1, 10, 2, 20})
+	f.Add([]byte{0, 1, 0, 1, 1, 1, 1, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 400 {
+			program = program[:400]
+		}
+		sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 2, InvalServers: 1})
+		defer sys.Close()
+		th := sys.MustRegister()
+		defer th.Close()
+
+		tree := New()
+		model := map[int]int{}
+		for i := 0; i+1 < len(program); i += 2 {
+			op := program[i] % 3
+			k := int(program[i+1])
+			var got bool
+			err := th.Atomically(func(tx *stm.Tx) error {
+				switch op {
+				case 0:
+					got = tree.Insert(tx, k, k*3)
+				case 1:
+					got = tree.Delete(tx, k)
+				case 2:
+					got = tree.Contains(tx, k)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, existed := model[k]
+			switch op {
+			case 0:
+				if got == existed {
+					t.Fatalf("op %d Insert(%d): got %v, existed %v", i, k, got, existed)
+				}
+				model[k] = k * 3
+			case 1:
+				if got != existed {
+					t.Fatalf("op %d Delete(%d): got %v, existed %v", i, k, got, existed)
+				}
+				delete(model, k)
+			case 2:
+				if got != existed {
+					t.Fatalf("op %d Contains(%d): got %v, existed %v", i, k, got, existed)
+				}
+			}
+			if err := tree.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+		if tree.SizeQuiescent() != len(model) {
+			t.Fatalf("size %d != model %d", tree.SizeQuiescent(), len(model))
+		}
+	})
+}

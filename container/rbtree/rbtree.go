@@ -1,0 +1,502 @@
+// Package rbtree implements a transactional red-black tree set/map — the
+// micro-benchmark of the paper's Figures 2 and 7 (64K-element tree, 50%/80%
+// lookup mixes).
+//
+// Every node field (key, value, links, color) is its own transactional Var,
+// so a lookup's read set is ~2 Vars per level and an insert/delete writes
+// only the rebalancing path — the access pattern that makes the tree a good
+// STM stressor: long read chains (quadratic incremental validation hurts)
+// and small, conflict-prone writes near the root.
+//
+// The algorithm is the classic parent-pointer red-black tree with nil-safe
+// helpers (colorOf(nil) = black) rather than a shared sentinel node: a
+// sentinel's mutable parent field would be written by every structural
+// delete, manufacturing false conflicts between otherwise disjoint
+// transactions.
+package rbtree
+
+import (
+	"fmt"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// node is one tree entry. Key is mutable (a Var) because deletion of a
+// two-child node copies the successor's key/value into it, as in the
+// textbook algorithm.
+type node struct {
+	key    *stm.Var[int]
+	value  *stm.Var[int]
+	left   *stm.Var[*node]
+	right  *stm.Var[*node]
+	parent *stm.Var[*node]
+	red    *stm.Var[bool]
+}
+
+func newNode(key, value int, parent *node) *node {
+	return &node{
+		key:    stm.NewVar(key),
+		value:  stm.NewVar(value),
+		left:   stm.NewVar[*node](nil),
+		right:  stm.NewVar[*node](nil),
+		parent: stm.NewVar(parent),
+		red:    stm.NewVar(false),
+	}
+}
+
+// Tree is a transactional ordered map from int keys to int values. All
+// operations must run inside a transaction; Check* and Keys are quiescent
+// helpers for tests and validation.
+type Tree struct {
+	root *stm.Var[*node]
+	size *stm.Var[int]
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{
+		root: stm.NewVar[*node](nil),
+		size: stm.NewVar(0),
+	}
+}
+
+// nil-safe accessors. A nil node reads as a black leaf with no links, which
+// collapses the textbook's sentinel special cases.
+
+func leftOf(tx *stm.Tx, n *node) *node {
+	if n == nil {
+		return nil
+	}
+	return n.left.Load(tx)
+}
+
+func rightOf(tx *stm.Tx, n *node) *node {
+	if n == nil {
+		return nil
+	}
+	return n.right.Load(tx)
+}
+
+func parentOf(tx *stm.Tx, n *node) *node {
+	if n == nil {
+		return nil
+	}
+	return n.parent.Load(tx)
+}
+
+func isRed(tx *stm.Tx, n *node) bool {
+	return n != nil && n.red.Load(tx)
+}
+
+func setRed(tx *stm.Tx, n *node, red bool) {
+	if n != nil {
+		n.red.Store(tx, red)
+	}
+}
+
+// lookup returns the node with the given key, or nil.
+func (t *Tree) lookup(tx *stm.Tx, key int) *node {
+	n := t.root.Load(tx)
+	for n != nil {
+		k := n.key.Load(tx)
+		switch {
+		case key < k:
+			n = n.left.Load(tx)
+		case key > k:
+			n = n.right.Load(tx)
+		default:
+			return n
+		}
+	}
+	return nil
+}
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(tx *stm.Tx, key int) bool {
+	return t.lookup(tx, key) != nil
+}
+
+// Get returns the value stored for key.
+func (t *Tree) Get(tx *stm.Tx, key int) (int, bool) {
+	n := t.lookup(tx, key)
+	if n == nil {
+		return 0, false
+	}
+	return n.value.Load(tx), true
+}
+
+// Size returns the number of keys.
+func (t *Tree) Size(tx *stm.Tx) int { return t.size.Load(tx) }
+
+// Insert adds key->value, returning true if the key was absent. An existing
+// key has its value replaced (and Insert returns false).
+func (t *Tree) Insert(tx *stm.Tx, key, value int) bool {
+	cur := t.root.Load(tx)
+	if cur == nil {
+		t.root.Store(tx, newNode(key, value, nil))
+		t.size.Store(tx, 1)
+		return true
+	}
+	var parent *node
+	var wentLeft bool
+	for cur != nil {
+		parent = cur
+		k := cur.key.Load(tx)
+		switch {
+		case key < k:
+			cur = cur.left.Load(tx)
+			wentLeft = true
+		case key > k:
+			cur = cur.right.Load(tx)
+			wentLeft = false
+		default:
+			cur.value.Store(tx, value)
+			return false
+		}
+	}
+	n := newNode(key, value, parent)
+	n.red.Set(true) // freshly allocated, not yet visible: Set is safe
+	if wentLeft {
+		parent.left.Store(tx, n)
+	} else {
+		parent.right.Store(tx, n)
+	}
+	t.fixAfterInsertion(tx, n)
+	t.size.Store(tx, t.size.Load(tx)+1)
+	return true
+}
+
+func (t *Tree) rotateLeft(tx *stm.Tx, p *node) {
+	r := p.right.Load(tx)
+	rl := r.left.Load(tx)
+	p.right.Store(tx, rl)
+	if rl != nil {
+		rl.parent.Store(tx, p)
+	}
+	pp := p.parent.Load(tx)
+	r.parent.Store(tx, pp)
+	if pp == nil {
+		t.root.Store(tx, r)
+	} else if pp.left.Load(tx) == p {
+		pp.left.Store(tx, r)
+	} else {
+		pp.right.Store(tx, r)
+	}
+	r.left.Store(tx, p)
+	p.parent.Store(tx, r)
+}
+
+func (t *Tree) rotateRight(tx *stm.Tx, p *node) {
+	l := p.left.Load(tx)
+	lr := l.right.Load(tx)
+	p.left.Store(tx, lr)
+	if lr != nil {
+		lr.parent.Store(tx, p)
+	}
+	pp := p.parent.Load(tx)
+	l.parent.Store(tx, pp)
+	if pp == nil {
+		t.root.Store(tx, l)
+	} else if pp.right.Load(tx) == p {
+		pp.right.Store(tx, l)
+	} else {
+		pp.left.Store(tx, l)
+	}
+	l.right.Store(tx, p)
+	p.parent.Store(tx, l)
+}
+
+func (t *Tree) fixAfterInsertion(tx *stm.Tx, x *node) {
+	for x != nil && x != t.root.Load(tx) && isRed(tx, parentOf(tx, x)) {
+		p := parentOf(tx, x)
+		g := parentOf(tx, p)
+		if p == leftOf(tx, g) {
+			u := rightOf(tx, g)
+			if isRed(tx, u) {
+				setRed(tx, p, false)
+				setRed(tx, u, false)
+				setRed(tx, g, true)
+				x = g
+			} else {
+				if x == rightOf(tx, p) {
+					x = p
+					t.rotateLeft(tx, x)
+					p = parentOf(tx, x)
+					g = parentOf(tx, p)
+				}
+				setRed(tx, p, false)
+				setRed(tx, g, true)
+				if g != nil {
+					t.rotateRight(tx, g)
+				}
+			}
+		} else {
+			u := leftOf(tx, g)
+			if isRed(tx, u) {
+				setRed(tx, p, false)
+				setRed(tx, u, false)
+				setRed(tx, g, true)
+				x = g
+			} else {
+				if x == leftOf(tx, p) {
+					x = p
+					t.rotateRight(tx, x)
+					p = parentOf(tx, x)
+					g = parentOf(tx, p)
+				}
+				setRed(tx, p, false)
+				setRed(tx, g, true)
+				if g != nil {
+					t.rotateLeft(tx, g)
+				}
+			}
+		}
+	}
+	setRed(tx, t.root.Load(tx), false)
+}
+
+// successor returns the node with the smallest key greater than n's.
+func successor(tx *stm.Tx, n *node) *node {
+	if r := rightOf(tx, n); r != nil {
+		for l := leftOf(tx, r); l != nil; l = leftOf(tx, r) {
+			r = l
+		}
+		return r
+	}
+	p := parentOf(tx, n)
+	ch := n
+	for p != nil && ch == rightOf(tx, p) {
+		ch = p
+		p = parentOf(tx, p)
+	}
+	return p
+}
+
+// Delete removes key, returning true if it was present.
+func (t *Tree) Delete(tx *stm.Tx, key int) bool {
+	p := t.lookup(tx, key)
+	if p == nil {
+		return false
+	}
+	t.deleteNode(tx, p)
+	t.size.Store(tx, t.size.Load(tx)-1)
+	return true
+}
+
+func (t *Tree) deleteNode(tx *stm.Tx, p *node) {
+	// Two children: copy successor's key/value into p, then delete the
+	// successor (which has at most one child).
+	if leftOf(tx, p) != nil && rightOf(tx, p) != nil {
+		s := successor(tx, p)
+		p.key.Store(tx, s.key.Load(tx))
+		p.value.Store(tx, s.value.Load(tx))
+		p = s
+	}
+	repl := leftOf(tx, p)
+	if repl == nil {
+		repl = rightOf(tx, p)
+	}
+	pp := parentOf(tx, p)
+	if repl != nil {
+		// Splice out p, linking repl in its place.
+		repl.parent.Store(tx, pp)
+		if pp == nil {
+			t.root.Store(tx, repl)
+		} else if p == leftOf(tx, pp) {
+			pp.left.Store(tx, repl)
+		} else {
+			pp.right.Store(tx, repl)
+		}
+		p.left.Store(tx, nil)
+		p.right.Store(tx, nil)
+		p.parent.Store(tx, nil)
+		if !isRed(tx, p) {
+			t.fixAfterDeletion(tx, repl)
+		}
+	} else if pp == nil {
+		// p was the only node.
+		t.root.Store(tx, nil)
+	} else {
+		// p is a leaf: fix up first (using p as the doubly black phantom),
+		// then unlink.
+		if !isRed(tx, p) {
+			t.fixAfterDeletion(tx, p)
+		}
+		pp2 := parentOf(tx, p)
+		if pp2 != nil {
+			if p == leftOf(tx, pp2) {
+				pp2.left.Store(tx, nil)
+			} else {
+				pp2.right.Store(tx, nil)
+			}
+			p.parent.Store(tx, nil)
+		}
+	}
+}
+
+func (t *Tree) fixAfterDeletion(tx *stm.Tx, x *node) {
+	for x != t.root.Load(tx) && !isRed(tx, x) {
+		p := parentOf(tx, x)
+		if x == leftOf(tx, p) {
+			sib := rightOf(tx, p)
+			if isRed(tx, sib) {
+				setRed(tx, sib, false)
+				setRed(tx, p, true)
+				t.rotateLeft(tx, p)
+				p = parentOf(tx, x)
+				sib = rightOf(tx, p)
+			}
+			if !isRed(tx, leftOf(tx, sib)) && !isRed(tx, rightOf(tx, sib)) {
+				setRed(tx, sib, true)
+				x = p
+			} else {
+				if !isRed(tx, rightOf(tx, sib)) {
+					setRed(tx, leftOf(tx, sib), false)
+					setRed(tx, sib, true)
+					t.rotateRight(tx, sib)
+					p = parentOf(tx, x)
+					sib = rightOf(tx, p)
+				}
+				setRed(tx, sib, isRed(tx, p))
+				setRed(tx, p, false)
+				setRed(tx, rightOf(tx, sib), false)
+				t.rotateLeft(tx, p)
+				x = t.root.Load(tx)
+			}
+		} else {
+			sib := leftOf(tx, p)
+			if isRed(tx, sib) {
+				setRed(tx, sib, false)
+				setRed(tx, p, true)
+				t.rotateRight(tx, p)
+				p = parentOf(tx, x)
+				sib = leftOf(tx, p)
+			}
+			if !isRed(tx, rightOf(tx, sib)) && !isRed(tx, leftOf(tx, sib)) {
+				setRed(tx, sib, true)
+				x = p
+			} else {
+				if !isRed(tx, leftOf(tx, sib)) {
+					setRed(tx, rightOf(tx, sib), false)
+					setRed(tx, sib, true)
+					t.rotateLeft(tx, sib)
+					p = parentOf(tx, x)
+					sib = leftOf(tx, p)
+				}
+				setRed(tx, sib, isRed(tx, p))
+				setRed(tx, p, false)
+				setRed(tx, leftOf(tx, sib), false)
+				t.rotateRight(tx, p)
+				x = t.root.Load(tx)
+			}
+		}
+	}
+	setRed(tx, x, false)
+}
+
+// --- Quiescent helpers (no transaction; for setup, tests, validation) ---
+
+// Keys returns the keys in order. Quiescent only.
+func (t *Tree) Keys() []int {
+	var out []int
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		walk(n.left.Peek())
+		out = append(out, n.key.Peek())
+		walk(n.right.Peek())
+	}
+	walk(t.root.Peek())
+	return out
+}
+
+// SizeQuiescent returns the size counter without a transaction.
+func (t *Tree) SizeQuiescent() int { return t.size.Peek() }
+
+// GetQuiescent returns the value stored for key without a transaction.
+// Quiescent only.
+func (t *Tree) GetQuiescent(key int) (int, bool) {
+	n := t.root.Peek()
+	for n != nil {
+		k := n.key.Peek()
+		switch {
+		case key < k:
+			n = n.left.Peek()
+		case key > k:
+			n = n.right.Peek()
+		default:
+			return n.value.Peek(), true
+		}
+	}
+	return 0, false
+}
+
+// CheckInvariants verifies, quiescently, every red-black property plus BST
+// order, parent-link integrity, and the size counter. It returns the first
+// violation found.
+func (t *Tree) CheckInvariants() error {
+	root := t.root.Peek()
+	if root == nil {
+		if n := t.size.Peek(); n != 0 {
+			return fmt.Errorf("empty tree but size=%d", n)
+		}
+		return nil
+	}
+	if root.red.Peek() {
+		return fmt.Errorf("root is red")
+	}
+	if root.parent.Peek() != nil {
+		return fmt.Errorf("root has a parent")
+	}
+	count := 0
+	var check func(n *node, min, max int, haveMin, haveMax bool) (blackHeight int, err error)
+	check = func(n *node, min, max int, haveMin, haveMax bool) (int, error) {
+		if n == nil {
+			return 1, nil
+		}
+		count++
+		k := n.key.Peek()
+		if haveMin && k <= min {
+			return 0, fmt.Errorf("BST violation: key %d <= bound %d", k, min)
+		}
+		if haveMax && k >= max {
+			return 0, fmt.Errorf("BST violation: key %d >= bound %d", k, max)
+		}
+		l, r := n.left.Peek(), n.right.Peek()
+		if l != nil && l.parent.Peek() != n {
+			return 0, fmt.Errorf("parent link broken at key %d (left child)", k)
+		}
+		if r != nil && r.parent.Peek() != n {
+			return 0, fmt.Errorf("parent link broken at key %d (right child)", k)
+		}
+		if n.red.Peek() {
+			if l != nil && l.red.Peek() || r != nil && r.red.Peek() {
+				return 0, fmt.Errorf("red node %d has a red child", k)
+			}
+		}
+		lb, err := check(l, min, k, haveMin, true)
+		if err != nil {
+			return 0, err
+		}
+		rb, err := check(r, k, max, true, haveMax)
+		if err != nil {
+			return 0, err
+		}
+		if lb != rb {
+			return 0, fmt.Errorf("black-height mismatch at key %d: %d vs %d", k, lb, rb)
+		}
+		if n.red.Peek() {
+			return lb, nil
+		}
+		return lb + 1, nil
+	}
+	if _, err := check(root, 0, 0, false, false); err != nil {
+		return err
+	}
+	if got := t.size.Peek(); got != count {
+		return fmt.Errorf("size counter %d != node count %d", got, count)
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+// Package rinval is a Go reproduction of "Remote Invalidation: Optimizing
+// the Critical Path of Memory Transactions" (Hassan, Palmieri, Ravindran,
+// IPDPS 2014): a software transactional memory whose commit and invalidation
+// routines execute on dedicated server goroutines communicating with
+// application threads through cache-aligned request slots.
+//
+// The public API lives in the stm subpackage; see README.md for the
+// architecture and EXPERIMENTS.md for the paper-figure reproductions. The
+// root package intentionally exports nothing.
+package rinval

@@ -1,0 +1,113 @@
+// Quickstart: concurrent bank transfers under Remote Invalidation.
+//
+// Ten goroutines move money between accounts while two auditors
+// transactionally sum every balance; opacity guarantees each audit sees a
+// consistent total. Run it with any engine:
+//
+//	go run ./examples/quickstart            # RInval-V2 (default)
+//	go run ./examples/quickstart -algo norec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+func main() {
+	algoName := flag.String("algo", "rinval-v2", "STM engine")
+	flag.Parse()
+
+	algo, err := stm.ParseAlgo(*algoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := stm.New(stm.Config{Algo: algo, MaxThreads: 16, InvalServers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	const accounts = 8
+	const initial = 1000
+	bank := make([]*stm.Var[int], accounts)
+	for i := range bank {
+		bank[i] = stm.NewVar(initial)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var transfers, audits atomic.Int64
+
+	// Transfer workers.
+	for w := 0; w < 10; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := sys.MustRegister()
+			defer th.Close()
+			rng := uint64(w + 1)
+			for !stop.Load() {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				from := int(rng>>33) % accounts
+				to := int(rng>>13) % accounts
+				amount := int(rng>>53) % 50
+				_ = th.Atomically(func(tx *stm.Tx) error {
+					bank[from].Store(tx, bank[from].Load(tx)-amount)
+					bank[to].Store(tx, bank[to].Load(tx)+amount)
+					return nil
+				})
+				transfers.Add(1)
+			}
+		}()
+	}
+
+	// Auditors: a consistent snapshot must always total accounts*initial.
+	for a := 0; a < 2; a++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := sys.MustRegister()
+			defer th.Close()
+			for !stop.Load() {
+				var total int
+				_ = th.Atomically(func(tx *stm.Tx) error {
+					total = 0
+					for _, acct := range bank {
+						total += acct.Load(tx)
+					}
+					return nil
+				})
+				if total != accounts*initial {
+					log.Fatalf("audit saw inconsistent total %d (opacity violated!)", total)
+				}
+				audits.Add(1)
+			}
+		}()
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	final := 0
+	for _, acct := range bank {
+		final += acct.Peek()
+	}
+	st := sys.Stats()
+	fmt.Printf("engine      %s\n", algo)
+	fmt.Printf("transfers   %d\n", transfers.Load())
+	fmt.Printf("audits      %d (all consistent)\n", audits.Load())
+	fmt.Printf("commits     %d, aborts %d (%.1f%% abort rate)\n",
+		st.Commits, st.Aborts, 100*st.AbortRate())
+	fmt.Printf("final total %d (expected %d)\n", final, accounts*initial)
+	if final != accounts*initial {
+		log.Fatal("money was not conserved")
+	}
+}

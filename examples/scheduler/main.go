@@ -1,0 +1,155 @@
+// scheduler: a transactional deadline scheduler built from the public
+// container packages.
+//
+// Producers submit jobs with deadlines into a shared priority queue while a
+// directory map tracks each job's state. Workers atomically claim the most
+// urgent job AND flip its state in one transaction, so a job can never be
+// double-claimed, and a cancelling client can atomically remove a job from
+// the directory so that any worker claiming it afterwards observes the
+// cancellation. A final reconciliation proves exactly-once execution.
+//
+//	go run ./examples/scheduler -algo rinval-v2 -jobs 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+
+	"github.com/ssrg-vt/rinval/container/ds"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// Job states in the directory.
+const (
+	statePending = iota
+	stateRunning
+	stateDone
+	stateCancelled
+)
+
+func main() {
+	algoName := flag.String("algo", "rinval-v2", "STM engine")
+	jobs := flag.Int("jobs", 400, "jobs to schedule")
+	workers := flag.Int("workers", 3, "worker goroutines")
+	flag.Parse()
+
+	algo, err := stm.ParseAlgo(*algoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := stm.New(stm.Config{Algo: algo, MaxThreads: *workers + 4, InvalServers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	queue := ds.NewPQueue()                          // deadline -> job id
+	directory := ds.NewMap[int, int](32, ds.HashInt) // job id -> state
+	executed := make([]int, *jobs)                   // worker observations (post-run)
+	var execMu sync.Mutex
+
+	var wg sync.WaitGroup
+
+	// Producer: submit every job with a pseudo-random deadline; every third
+	// job is cancelled shortly after submission (the cancellation races the
+	// workers, and either side winning is correct).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := sys.MustRegister()
+		defer th.Close()
+		rng := uint64(7)
+		for j := 0; j < *jobs; j++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			deadline := int(rng >> 40)
+			j := j
+			_ = th.Atomically(func(tx *stm.Tx) error {
+				directory.Put(tx, j, statePending)
+				queue.Insert(tx, deadline, j)
+				return nil
+			})
+			if j%3 == 2 {
+				_ = th.Atomically(func(tx *stm.Tx) error {
+					if st, ok := directory.Get(tx, j); ok && st == statePending {
+						directory.Put(tx, j, stateCancelled)
+					}
+					return nil
+				})
+			}
+		}
+	}()
+
+	// Workers: claim the most urgent pending job and run it.
+	remaining := stm.NewVar(*jobs)
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := sys.MustRegister()
+			defer th.Close()
+			for {
+				var job int
+				var claimed, done bool
+				_ = th.Atomically(func(tx *stm.Tx) error {
+					claimed = false
+					_, id, ok := queue.PopMin(tx)
+					if !ok {
+						done = remaining.Load(tx) == 0
+						return nil
+					}
+					remaining.Store(tx, remaining.Load(tx)-1)
+					st, ok := directory.Get(tx, id)
+					if !ok || st != statePending {
+						return nil // cancelled (or missing): skip atomically
+					}
+					directory.Put(tx, id, stateRunning)
+					job = id
+					claimed = true
+					return nil
+				})
+				if claimed {
+					// "Execute" the job outside the transaction.
+					execMu.Lock()
+					executed[job]++
+					execMu.Unlock()
+					_ = th.Atomically(func(tx *stm.Tx) error {
+						directory.Put(tx, job, stateDone)
+						return nil
+					})
+				} else if done {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Reconcile: every non-cancelled job ran exactly once; cancelled jobs
+	// (whose cancellation won the race) never ran.
+	ran, skipped := 0, 0
+	directory.ForEachQuiescent(func(id, st int) {
+		switch st {
+		case stateDone:
+			if executed[id] != 1 {
+				log.Fatalf("job %d done but executed %d times", id, executed[id])
+			}
+			ran++
+		case stateCancelled:
+			if executed[id] != 0 {
+				log.Fatalf("cancelled job %d was executed", id)
+			}
+			skipped++
+		default:
+			log.Fatalf("job %d left in state %d", id, st)
+		}
+	})
+	if ran+skipped != *jobs {
+		log.Fatalf("accounting mismatch: %d + %d != %d", ran, skipped, *jobs)
+	}
+	st := sys.Stats()
+	fmt.Printf("engine    %s\n", algo)
+	fmt.Printf("jobs      %d (%d executed exactly once, %d cancelled in time)\n", *jobs, ran, skipped)
+	fmt.Printf("commits   %d, aborts %d\n", st.Commits, st.Aborts)
+}

@@ -1,0 +1,3 @@
+module github.com/ssrg-vt/rinval
+
+go 1.24

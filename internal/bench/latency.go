@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ssrg-vt/rinval/container/rbtree"
+	"github.com/ssrg-vt/rinval/internal/histo"
+	"github.com/ssrg-vt/rinval/internal/stamp"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// LatencyRow is one engine's per-transaction latency distribution.
+type LatencyRow struct {
+	Algo    string
+	Threads int
+	Count   uint64
+	Mean    time.Duration
+	P50     time.Duration
+	P90     time.Duration
+	P99     time.Duration
+	Max     time.Duration
+}
+
+// LatencyTable holds a latency-profile experiment.
+type LatencyTable struct {
+	Title string
+	Note  string
+	Rows  []LatencyRow
+}
+
+// Format writes an aligned latency table.
+func (t *LatencyTable) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "   %s\n", t.Note)
+	}
+	fmt.Fprintf(w, "%-12s %8s %10s %10s %10s %10s %10s %10s\n",
+		"algo", "threads", "txs", "mean", "p50", "p90", "p99", "max")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-12s %8d %10d %10s %10s %10s %10s %10s\n",
+			r.Algo, r.Threads, r.Count,
+			fmtDur(r.Mean), fmtDur(r.P50), fmtDur(r.P90), fmtDur(r.P99), fmtDur(r.Max))
+	}
+	fmt.Fprintln(w)
+}
+
+// LiveLatencyProfile measures the per-transaction latency distribution of a
+// write transaction (insert/delete on the red-black tree) under each
+// engine. Remote commit trades a longer round trip per commit for immunity
+// to shared-lock convoys — a distribution property that throughput averages
+// hide.
+func LiveLatencyProfile(algos []stm.Algo, threads int, dur time.Duration, seed uint64) (*LatencyTable, error) {
+	t := &LatencyTable{
+		Title: fmt.Sprintf("Latency profile: red-black tree update transactions (live, %d threads)", threads),
+		Note:  "wall time per committed transaction, including retries",
+	}
+	for _, algo := range algos {
+		row, err := runLatency(algo, threads, dur, seed)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func runLatency(algo stm.Algo, threads int, dur time.Duration, seed uint64) (LatencyRow, error) {
+	sys, err := stm.New(stm.Config{
+		Algo:         algo,
+		MaxThreads:   threads + 1,
+		InvalServers: min(4, threads+1),
+		Seed:         seed,
+	})
+	if err != nil {
+		return LatencyRow{}, err
+	}
+	defer sys.Close()
+
+	tree := rbtree.New()
+	setup := sys.MustRegister()
+	fill := stamp.NewRand(seed, 3)
+	const keys = 4096
+	for i := 0; i < keys/2; i++ {
+		k := fill.Intn(keys)
+		if err := setup.Atomically(func(tx *stm.Tx) error {
+			tree.Insert(tx, k, k)
+			return nil
+		}); err != nil {
+			setup.Close()
+			return LatencyRow{}, err
+		}
+	}
+	setup.Close()
+
+	hists := make([]histo.Histogram, threads)
+	errs := make([]error, threads)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th, err := sys.Register()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer th.Close()
+			rng := stamp.NewRand(seed, uint64(w)+500)
+			for !stop.Load() {
+				k := rng.Intn(keys)
+				ins := rng.Intn(2) == 0
+				t0 := time.Now()
+				errs[w] = th.Atomically(func(tx *stm.Tx) error {
+					if ins {
+						tree.Insert(tx, k, k)
+					} else {
+						tree.Delete(tx, k)
+					}
+					return nil
+				})
+				hists[w].Record(uint64(time.Since(t0)))
+				if errs[w] != nil {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(clampDuration(dur, 10*time.Millisecond, time.Minute))
+	stop.Store(true)
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return LatencyRow{}, e
+		}
+	}
+	var all histo.Histogram
+	for i := range hists {
+		all.Merge(&hists[i])
+	}
+	return LatencyRow{
+		Algo:    algo.String(),
+		Threads: threads,
+		Count:   all.Count(),
+		Mean:    time.Duration(all.Mean()),
+		P50:     time.Duration(all.Quantile(0.5)),
+		P90:     time.Duration(all.Quantile(0.9)),
+		P99:     time.Duration(all.Quantile(0.99)),
+		Max:     time.Duration(all.Max()),
+	}, nil
+}

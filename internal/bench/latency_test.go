@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+func TestLiveLatencyProfileSmoke(t *testing.T) {
+	tbl, err := LiveLatencyProfile([]stm.Algo{stm.NOrec, stm.RInvalV2}, 2, 25*time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r.Count == 0 {
+			t.Fatalf("%s: no transactions", r.Algo)
+		}
+		if r.P50 > r.P90 || r.P90 > r.P99 || r.P99 > r.Max {
+			t.Fatalf("%s: quantiles not monotone: %+v", r.Algo, r)
+		}
+		if r.Mean <= 0 {
+			t.Fatalf("%s: zero mean", r.Algo)
+		}
+	}
+}
+
+func TestLatencyTableFormat(t *testing.T) {
+	tbl := &LatencyTable{
+		Title: "t",
+		Note:  "n",
+		Rows: []LatencyRow{{
+			Algo: "norec", Threads: 2, Count: 10,
+			Mean: time.Microsecond, P50: time.Microsecond,
+			P90: 2 * time.Microsecond, P99: 3 * time.Microsecond, Max: time.Millisecond,
+		}},
+	}
+	var buf bytes.Buffer
+	tbl.Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"norec", "p99", "1ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ssrg-vt/rinval/container/ds"
+	"github.com/ssrg-vt/rinval/internal/sim"
+	"github.com/ssrg-vt/rinval/internal/stamp"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// ListOpts parameterizes the sorted linked-list micro-benchmark — the
+// paper's §I/§II motivating workload: every traversed node is monitored, so
+// the read set grows linearly with the key range and NOrec's incremental
+// validation grows quadratically while invalidation stays linear.
+type ListOpts struct {
+	Keys     int // key range; list pre-filled to half occupancy
+	ReadPct  int // lookup percentage; rest split insert/delete
+	Duration time.Duration
+	Seed     uint64
+}
+
+// RunList executes the list micro-benchmark on a fresh System.
+func RunList(algo stm.Algo, threads int, o ListOpts) (Row, error) {
+	if o.Keys < 2 || threads < 1 {
+		return Row{}, fmt.Errorf("bench: bad list options")
+	}
+	sys, err := stm.New(stm.Config{
+		Algo:         algo,
+		MaxThreads:   threads + 1,
+		InvalServers: min(4, threads+1),
+		Seed:         o.Seed,
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	defer sys.Close()
+
+	list := ds.NewList()
+	setup := sys.MustRegister()
+	fill := stamp.NewRand(o.Seed, 7)
+	for i := 0; i < o.Keys/2; i++ {
+		k := fill.Intn(o.Keys)
+		if err := setup.Atomically(func(tx *stm.Tx) error {
+			list.Insert(tx, k, k)
+			return nil
+		}); err != nil {
+			setup.Close()
+			return Row{}, err
+		}
+	}
+	setup.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make([]error, threads)
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th, err := sys.Register()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer th.Close()
+			rng := stamp.NewRand(o.Seed, uint64(w)+2000)
+			for !stop.Load() {
+				k := rng.Intn(o.Keys)
+				op := rng.Intn(100)
+				errs[w] = th.Atomically(func(tx *stm.Tx) error {
+					switch {
+					case op < o.ReadPct:
+						list.Contains(tx, k)
+					case op < o.ReadPct+(100-o.ReadPct)/2:
+						list.Insert(tx, k, k)
+					default:
+						list.Delete(tx, k)
+					}
+					return nil
+				})
+				if errs[w] != nil {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(o.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, e := range errs {
+		if e != nil {
+			return Row{}, e
+		}
+	}
+	st := sys.Stats()
+	return Row{
+		Algo:      algo.String(),
+		Threads:   threads,
+		Elapsed:   elapsed,
+		Commits:   st.Commits,
+		Aborts:    st.Aborts,
+		KTxPerSec: float64(st.Commits) / elapsed.Seconds() / 1e3,
+	}, nil
+}
+
+// LiveAblationReadSetSize sweeps the list key range on the live engines:
+// longer traversals mean larger read sets. The paper's §II claim is that
+// commit-time invalidation converts quadratic incremental validation into
+// linear work, which is exactly what grows here.
+func LiveAblationReadSetSize(keyRanges []int, threads int, dur time.Duration, seed uint64) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Ablation: read-set size via list key range (live, %d threads)", threads),
+		Note:  "longer chains -> larger read sets; invalidation reads stay O(1) per element while NOrec revalidates the whole prefix",
+	}
+	for _, keys := range keyRanges {
+		for _, a := range []stm.Algo{stm.NOrec, stm.InvalSTM, stm.RInvalV2} {
+			o := ListOpts{Keys: keys, ReadPct: 80, Duration: clampDuration(dur, 10*time.Millisecond, time.Minute), Seed: seed}
+			row, err := RunList(a, threads, o)
+			if err != nil {
+				return nil, err
+			}
+			row.Algo = fmt.Sprintf("%s/keys=%d", a, keys)
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// SimAblationReadSetSize sweeps the transaction read-set size on the
+// modeled machine, holding everything else fixed.
+func SimAblationReadSetSize(readSets []int, threads int, seed uint64) *Table {
+	p := sim.DefaultParams()
+	t := &Table{
+		Title: fmt.Sprintf("Ablation: validation cost vs read-set size (%d threads, simulated)", threads),
+		Note:  "NOrec revalidation is O(prefix) per timestamp move; invalidation reads are O(1)",
+	}
+	for _, n := range readSets {
+		w := sim.ListTraversal(n)
+		for _, a := range []stm.Algo{stm.NOrec, stm.InvalSTM, stm.RInvalV2} {
+			c := sim.DefaultConfig(simEngine(a), threads)
+			c.Seed = seed
+			r := simRow(sim.MustRun(p, w, c), p)
+			r.Algo = fmt.Sprintf("%s/reads=%d", a, n)
+			t.Rows = append(t.Rows, r)
+		}
+	}
+	return t
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+func TestRunListSmoke(t *testing.T) {
+	o := ListOpts{Keys: 128, ReadPct: 80, Duration: 25 * time.Millisecond, Seed: 1}
+	for _, a := range []stm.Algo{stm.NOrec, stm.InvalSTM, stm.RInvalV2} {
+		row, err := RunList(a, 2, o)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if row.Commits == 0 {
+			t.Fatalf("%v: no commits", a)
+		}
+	}
+}
+
+func TestRunListBadOpts(t *testing.T) {
+	if _, err := RunList(stm.NOrec, 1, ListOpts{Keys: 1}); err == nil {
+		t.Fatal("keys=1 accepted")
+	}
+	if _, err := RunList(stm.NOrec, 0, ListOpts{Keys: 64}); err == nil {
+		t.Fatal("threads=0 accepted")
+	}
+}
+
+func TestSimAblationReadSetSizeShape(t *testing.T) {
+	tbl := SimAblationReadSetSize([]int{8, 512}, 16, 1)
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	get := func(algo string) float64 {
+		for _, r := range tbl.Rows {
+			if r.Algo == algo {
+				return r.KTxPerSec
+			}
+		}
+		t.Fatalf("missing %s", algo)
+		return 0
+	}
+	// The NOrec advantage over InvalSTM must narrow as read sets grow
+	// (quadratic validation vs linear invalidation, the paper's §II).
+	small := get("norec/reads=8") / get("invalstm/reads=8")
+	large := get("norec/reads=512") / get("invalstm/reads=512")
+	if large >= small {
+		t.Fatalf("validation-cost effect absent: ratio %0.2f -> %0.2f", small, large)
+	}
+	// RInval-V2 dominates on short transactions (server pipeline).
+	if get("rinval-v2/reads=8") <= get("norec/reads=8") {
+		t.Fatal("V2 did not lead at small read sets")
+	}
+}
+
+func TestLiveAblationReadSetSizeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live")
+	}
+	tbl, err := LiveAblationReadSetSize([]int{32, 64}, 2, 20*time.Millisecond, 1)
+	if err != nil || len(tbl.Rows) != 6 {
+		t.Fatalf("err %v rows %d", err, len(tbl.Rows))
+	}
+}

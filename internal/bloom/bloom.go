@@ -1,0 +1,229 @@
+// Package bloom implements the fixed-size bloom filters that InvalSTM and
+// RInval use as read/write-set signatures.
+//
+// Invalidation compares the committer's write signature against every
+// in-flight transaction's read signature in O(filter words) time, independent
+// of the actual set sizes — the property the paper relies on to make
+// invalidation constant time per transaction (§II). Filters trade precision
+// for that speed: a bit collision manifests as a false conflict and a
+// spurious abort, never as a missed conflict.
+//
+// Two variants are provided. Filter is a plain, single-owner filter for write
+// sets (built privately, published by value at commit time). Atomic is a
+// concurrently readable filter for read sets: the owning transaction adds
+// bits while invalidation servers intersect against it, so its words are
+// atomics and Add uses a release-ordered OR — a reader that observes the bit
+// also observes everything the adder did before setting it.
+package bloom
+
+import "sync/atomic"
+
+// Params fixes a filter geometry. All filters that are intersected with each
+// other must share the same Params.
+type Params struct {
+	Bits   int // number of bits; must be a power of two and a multiple of 64
+	Hashes int // number of bits set per element (k)
+}
+
+// DefaultParams matches the configuration used by the benchmark harness:
+// 1024 bits x 2 hashes keeps the per-slot signature to two cache lines and
+// the false-conflict rate below 1% for read sets up to ~64 elements.
+var DefaultParams = Params{Bits: 1024, Hashes: 2}
+
+// valid reports whether p is a usable geometry.
+func (p Params) valid() bool {
+	return p.Bits >= 64 && p.Bits%64 == 0 && (p.Bits&(p.Bits-1)) == 0 && p.Hashes >= 1
+}
+
+// Words returns the number of 64-bit words backing a filter with geometry p.
+func (p Params) Words() int { return p.Bits / 64 }
+
+// splitmix64 is the finalizer of the SplitMix64 generator; it is a strong,
+// cheap 64-bit mixer used to derive bit positions from element identities.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// positions computes the k bit positions for id using double hashing
+// (Kirsch-Mitzenmacher): pos_i = h1 + i*h2 mod Bits.
+func (p Params) positions(id uint64, out []uint) []uint {
+	h1 := splitmix64(id)
+	h2 := splitmix64(h1) | 1 // odd, so all positions are distinct mod 2^k
+	mask := uint64(p.Bits - 1)
+	out = out[:0]
+	for i := 0; i < p.Hashes; i++ {
+		out = append(out, uint(h1&mask))
+		h1 += h2
+	}
+	return out
+}
+
+// Filter is a single-owner bloom filter. It is not safe for concurrent use;
+// use Atomic for filters read by other threads.
+type Filter struct {
+	p     Params
+	words []uint64
+	pos   []uint // scratch, avoids per-Add allocation
+}
+
+// NewFilter returns an empty filter with geometry p. It panics on an invalid
+// geometry: filter parameters are fixed at system construction, so a bad
+// geometry is a programming error, not a runtime condition.
+func NewFilter(p Params) *Filter {
+	if !p.valid() {
+		panic("bloom: invalid Params")
+	}
+	return &Filter{p: p, words: make([]uint64, p.Words()), pos: make([]uint, 0, p.Hashes)}
+}
+
+// Params returns the filter geometry.
+func (f *Filter) Params() Params { return f.p }
+
+// Add inserts id into the filter.
+func (f *Filter) Add(id uint64) {
+	f.pos = f.p.positions(id, f.pos)
+	for _, b := range f.pos {
+		f.words[b>>6] |= 1 << (b & 63)
+	}
+}
+
+// MayContain reports whether id may have been added (false positives
+// possible, false negatives impossible).
+func (f *Filter) MayContain(id uint64) bool {
+	f.pos = f.p.positions(id, f.pos)
+	for _, b := range f.pos {
+		if f.words[b>>6]&(1<<(b&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements.
+func (f *Filter) Clear() {
+	for i := range f.words {
+		f.words[i] = 0
+	}
+}
+
+// Empty reports whether no bits are set.
+func (f *Filter) Empty() bool {
+	for _, w := range f.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether f and g share at least one set bit. Both filters
+// must have the same geometry.
+func (f *Filter) Intersects(g *Filter) bool {
+	for i, w := range f.words {
+		if w&g.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CopyFrom makes f an exact copy of g (same geometry required).
+func (f *Filter) CopyFrom(g *Filter) {
+	copy(f.words, g.words)
+}
+
+// Clone returns an independent copy of f.
+func (f *Filter) Clone() *Filter {
+	c := NewFilter(f.p)
+	c.CopyFrom(f)
+	return c
+}
+
+// PopCount returns the number of set bits — used by tests and by the
+// false-conflict ablation to estimate filter load.
+func (f *Filter) PopCount() int {
+	n := 0
+	for _, w := range f.words {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Atomic is a bloom filter whose owner adds bits while other threads
+// concurrently intersect against it or reset it is observed. The owner is the
+// only writer of bits (via Add) and the only caller of Clear; invalidation
+// servers only read.
+type Atomic struct {
+	p     Params
+	words []atomic.Uint64
+}
+
+// NewAtomic returns an empty concurrent filter with geometry p.
+func NewAtomic(p Params) *Atomic {
+	if !p.valid() {
+		panic("bloom: invalid Params")
+	}
+	return &Atomic{p: p, words: make([]atomic.Uint64, p.Words())}
+}
+
+// Params returns the filter geometry.
+func (a *Atomic) Params() Params { return a.p }
+
+// Add inserts id. The atomic OR publishes the bit with release semantics:
+// once an invalidation server observes the bit, it also observes the read
+// that the bit describes.
+func (a *Atomic) Add(id uint64) {
+	var posBuf [8]uint
+	pos := a.p.positions(id, posBuf[:0])
+	for _, b := range pos {
+		w := &a.words[b>>6]
+		bit := uint64(1) << (b & 63)
+		if w.Load()&bit == 0 { // avoid write traffic for already-set bits
+			w.Or(bit)
+		}
+	}
+}
+
+// Clear removes all elements. Only the owner may call it, between
+// transactions (never while a commit that could observe the filter is in
+// flight against the owner's current epoch).
+func (a *Atomic) Clear() {
+	for i := range a.words {
+		a.words[i].Store(0)
+	}
+}
+
+// IntersectsFilter reports whether a and the plain filter g share a set bit.
+// Safe to call concurrently with the owner's Add.
+func (a *Atomic) IntersectsFilter(g *Filter) bool {
+	for i := range a.words {
+		if a.words[i].Load()&g.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MayContain reports whether id may have been added.
+func (a *Atomic) MayContain(id uint64) bool {
+	var posBuf [8]uint
+	pos := a.p.positions(id, posBuf[:0])
+	for _, b := range pos {
+		if a.words[b>>6].Load()&(1<<(b&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot copies the current contents into dst (same geometry required).
+func (a *Atomic) Snapshot(dst *Filter) {
+	for i := range a.words {
+		dst.words[i] = a.words[i].Load()
+	}
+}

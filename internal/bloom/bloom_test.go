@@ -1,0 +1,287 @@
+package bloom
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+var testParams = Params{Bits: 256, Hashes: 3}
+
+func TestParamsValidation(t *testing.T) {
+	bad := []Params{
+		{Bits: 0, Hashes: 1},
+		{Bits: 63, Hashes: 1},
+		{Bits: 96, Hashes: 1},   // multiple of 32, not power of two
+		{Bits: 1000, Hashes: 2}, // not power of two
+		{Bits: 128, Hashes: 0},
+	}
+	for _, p := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFilter(%+v) did not panic", p)
+				}
+			}()
+			NewFilter(p)
+		}()
+	}
+	good := []Params{{Bits: 64, Hashes: 1}, {Bits: 1024, Hashes: 4}, DefaultParams}
+	for _, p := range good {
+		if NewFilter(p) == nil || NewAtomic(p) == nil {
+			t.Errorf("valid params %+v rejected", p)
+		}
+	}
+}
+
+func TestParamsAccessors(t *testing.T) {
+	p := Params{Bits: 128, Hashes: 2}
+	if p.Words() != 2 {
+		t.Fatalf("Words %d", p.Words())
+	}
+	if NewFilter(p).Params() != p || NewAtomic(p).Params() != p {
+		t.Fatal("Params accessor mismatch")
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewFilter(testParams)
+	for id := uint64(0); id < 500; id++ {
+		f.Add(id * 2654435761)
+	}
+	for id := uint64(0); id < 500; id++ {
+		if !f.MayContain(id * 2654435761) {
+			t.Fatalf("false negative for %d", id)
+		}
+	}
+}
+
+func TestQuickNoFalseNegatives(t *testing.T) {
+	err := quick.Check(func(ids []uint64) bool {
+		f := NewFilter(testParams)
+		for _, id := range ids {
+			f.Add(id)
+		}
+		for _, id := range ids {
+			if !f.MayContain(id) {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClearAndEmpty(t *testing.T) {
+	f := NewFilter(testParams)
+	if !f.Empty() {
+		t.Fatal("fresh filter not empty")
+	}
+	f.Add(7)
+	if f.Empty() || f.PopCount() == 0 {
+		t.Fatal("Add left filter empty")
+	}
+	f.Clear()
+	if !f.Empty() || f.PopCount() != 0 {
+		t.Fatal("Clear did not empty filter")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a, b := NewFilter(testParams), NewFilter(testParams)
+	a.Add(1)
+	b.Add(2)
+	// With 256 bits and 2 elements a collision is astronomically unlikely
+	// for these fixed ids; assert the expected outcome deterministically.
+	if a.Intersects(b) {
+		t.Fatal("disjoint singletons intersect")
+	}
+	b.Add(1)
+	if !a.Intersects(b) {
+		t.Fatal("shared element not detected")
+	}
+}
+
+func TestQuickIntersectsSharedElement(t *testing.T) {
+	// Property: if the two filters share an element, Intersects must be true.
+	err := quick.Check(func(xs, ys []uint64, shared uint64) bool {
+		a, b := NewFilter(testParams), NewFilter(testParams)
+		for _, x := range xs {
+			a.Add(x)
+		}
+		for _, y := range ys {
+			b.Add(y)
+		}
+		a.Add(shared)
+		b.Add(shared)
+		return a.Intersects(b)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneAndCopyFrom(t *testing.T) {
+	a := NewFilter(testParams)
+	for i := uint64(0); i < 20; i++ {
+		a.Add(i)
+	}
+	c := a.Clone()
+	for i := uint64(0); i < 20; i++ {
+		if !c.MayContain(i) {
+			t.Fatal("clone lost element")
+		}
+	}
+	c.Add(999)
+	// Clone must be independent: a very unlikely to contain 999 unless
+	// collision; instead verify words differ via PopCount monotonicity.
+	if c.PopCount() < a.PopCount() {
+		t.Fatal("clone popcount shrank")
+	}
+	d := NewFilter(testParams)
+	d.CopyFrom(a)
+	if d.PopCount() != a.PopCount() {
+		t.Fatal("CopyFrom not exact")
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	p := Params{Bits: 1024, Hashes: 2}
+	f := NewFilter(p)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 64; i++ {
+		f.Add(rng.Uint64())
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.MayContain(rng.Uint64()) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// Theoretical rate for n=64, m=1024, k=2 is ~1.4%; allow generous slack.
+	if rate > 0.05 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestAtomicBasics(t *testing.T) {
+	a := NewAtomic(testParams)
+	a.Add(42)
+	if !a.MayContain(42) {
+		t.Fatal("atomic false negative")
+	}
+	g := NewFilter(testParams)
+	g.Add(42)
+	if !a.IntersectsFilter(g) {
+		t.Fatal("atomic intersect missed shared element")
+	}
+	g2 := NewFilter(testParams)
+	g2.Add(77)
+	if a.IntersectsFilter(g2) {
+		t.Fatal("atomic intersect false on disjoint singletons")
+	}
+	a.Clear()
+	if a.MayContain(42) {
+		t.Fatal("Clear did not remove element")
+	}
+}
+
+func TestAtomicSnapshot(t *testing.T) {
+	a := NewAtomic(testParams)
+	for i := uint64(0); i < 30; i++ {
+		a.Add(i)
+	}
+	snap := NewFilter(testParams)
+	a.Snapshot(snap)
+	for i := uint64(0); i < 30; i++ {
+		if !snap.MayContain(i) {
+			t.Fatal("snapshot lost element")
+		}
+	}
+}
+
+// TestAtomicConcurrentAddIntersect exercises the invalidation-server pattern:
+// one goroutine adds read-set bits while others intersect. The invariant is
+// that once Add(id) returns, every subsequent intersect against a filter
+// containing id must succeed.
+func TestAtomicConcurrentAddIntersect(t *testing.T) {
+	a := NewAtomic(testParams)
+	const n = 200
+	var wg sync.WaitGroup
+	added := make(chan uint64, n)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; i++ {
+			a.Add(i)
+			added <- i
+		}
+		close(added)
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := NewFilter(testParams)
+			for id := range added {
+				g.Clear()
+				g.Add(id)
+				if !a.IntersectsFilter(g) {
+					t.Errorf("intersect missed id %d published before", id)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPositionsDeterministicAndDistinct(t *testing.T) {
+	p := Params{Bits: 1024, Hashes: 4}
+	var buf1, buf2 [8]uint
+	a := p.positions(123, buf1[:0])
+	b := p.positions(123, buf2[:0])
+	if len(a) != p.Hashes || len(b) != p.Hashes {
+		t.Fatalf("got %d positions want %d", len(a), p.Hashes)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("positions not deterministic")
+		}
+		if a[i] >= uint(p.Bits) {
+			t.Fatalf("position %d out of range", a[i])
+		}
+	}
+}
+
+func BenchmarkFilterAdd(b *testing.B) {
+	f := NewFilter(DefaultParams)
+	for i := 0; i < b.N; i++ {
+		f.Add(uint64(i))
+	}
+}
+
+func BenchmarkAtomicAdd(b *testing.B) {
+	f := NewAtomic(DefaultParams)
+	for i := 0; i < b.N; i++ {
+		f.Add(uint64(i))
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	a := NewAtomic(DefaultParams)
+	g := NewFilter(DefaultParams)
+	for i := uint64(0); i < 32; i++ {
+		a.Add(i)
+		g.Add(i + 1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.IntersectsFilter(g)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// Per-engine micro-benchmarks: the cost of the primitive operations on the
+// transaction critical path, uncontended. These are the per-operation
+// overheads behind the paper's Figure 1(c).
+
+func benchSys(b *testing.B, algo Algo) (*System, *Thread) {
+	b.Helper()
+	s, err := New(Config{Algo: algo, MaxThreads: 4, InvalServers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	th := s.MustRegister()
+	b.Cleanup(func() {
+		th.Close()
+		_ = s.Close()
+	})
+	return s, th
+}
+
+func BenchmarkReadOnlyTx(b *testing.B) {
+	for _, a := range Algos {
+		a := a
+		b.Run(a.String(), func(b *testing.B) {
+			_, th := benchSys(b, a)
+			v := NewVar(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = th.Atomically(func(tx *Tx) error {
+					_ = tx.Load(v)
+					return nil
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkWriteTx(b *testing.B) {
+	for _, a := range Algos {
+		a := a
+		b.Run(a.String(), func(b *testing.B) {
+			_, th := benchSys(b, a)
+			v := NewVar(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = th.Atomically(func(tx *Tx) error {
+					tx.Store(v, i)
+					return nil
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkReadHeavyTx(b *testing.B) {
+	for _, a := range []Algo{NOrec, InvalSTM, RInvalV2, TL2} {
+		a := a
+		b.Run(a.String(), func(b *testing.B) {
+			_, th := benchSys(b, a)
+			vars := make([]*Var, 64)
+			for i := range vars {
+				vars[i] = NewVar(i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = th.Atomically(func(tx *Tx) error {
+					sum := 0
+					for _, v := range vars {
+						sum += tx.Load(v).(int)
+					}
+					tx.Store(vars[0], sum)
+					return nil
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkContendedCounter(b *testing.B) {
+	for _, a := range []Algo{NOrec, InvalSTM, RInvalV2, TL2} {
+		a := a
+		b.Run(a.String(), func(b *testing.B) {
+			s, err := New(Config{Algo: a, MaxThreads: 8, InvalServers: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = s.Close() }()
+			counter := NewVar(0)
+			const workers = 4
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N/workers + 1
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := s.MustRegister()
+					defer th.Close()
+					for i := 0; i < per; i++ {
+						_ = th.Atomically(func(tx *Tx) error {
+							tx.Store(counter, tx.Load(counter).(int)+1)
+							return nil
+						})
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ssrg-vt/rinval/internal/bloom"
+)
+
+// Algo selects the concurrency-control engine.
+type Algo int
+
+const (
+	// Mutex serializes whole atomic blocks under one global mutex — the
+	// coarse-grained locking baseline of the paper's Figure 1(b).
+	Mutex Algo = iota
+	// NOrec is value-based incremental validation over a global sequence
+	// lock — the paper's validation-based competitor.
+	NOrec
+	// InvalSTM is commit-time invalidation executed inline by the committing
+	// thread — the paper's Algorithm 1.
+	InvalSTM
+	// RInvalV1 executes commits (including invalidation) on a dedicated
+	// commit-server — the paper's Algorithm 2.
+	RInvalV1
+	// RInvalV2 adds parallel invalidation-servers — the paper's Algorithm 3.
+	RInvalV2
+	// RInvalV3 adds step-ahead commit — the paper's Algorithm 4.
+	RInvalV3
+	// TL2 is a fine-grained baseline: per-location versioned write-locks
+	// over a global version clock (Dice, Shalev, Shavit — DISC 2006). The
+	// paper repeatedly contrasts the coarse-grained family against this
+	// design point (more concurrency, more metadata, harder HTM/privatization
+	// integration); it is provided for the ablation experiments.
+	TL2
+)
+
+// String returns the name used in the paper's plots.
+func (a Algo) String() string {
+	switch a {
+	case Mutex:
+		return "mutex"
+	case NOrec:
+		return "norec"
+	case InvalSTM:
+		return "invalstm"
+	case RInvalV1:
+		return "rinval-v1"
+	case RInvalV2:
+		return "rinval-v2"
+	case RInvalV3:
+		return "rinval-v3"
+	case TL2:
+		return "tl2"
+	default:
+		return fmt.Sprintf("Algo(%d)", int(a))
+	}
+}
+
+// Algos lists every engine, in the order the paper discusses them.
+var Algos = []Algo{Mutex, NOrec, InvalSTM, RInvalV1, RInvalV2, RInvalV3, TL2}
+
+// ParseAlgo converts a name produced by Algo.String back to an Algo.
+func ParseAlgo(s string) (Algo, error) {
+	for _, a := range Algos {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q", s)
+}
+
+// CMPolicy selects the contention manager applied on conflict aborts.
+type CMPolicy int
+
+const (
+	// CMCommitterWins retries immediately: the committing transaction always
+	// wins and doomed transactions restart at once (the paper's base rule).
+	CMCommitterWins CMPolicy = iota
+	// CMBackoff retries after randomized exponential backoff — the paper's
+	// "simple contention manager" (§IV-D).
+	CMBackoff
+	// CMReaderBiased implements the paper's future-work suggestion (§V):
+	// before requesting commit, a writer counts the in-flight readers its
+	// write set would doom; if more than ReaderBiasThreshold and the writer
+	// has not exceeded ReaderBiasRetries attempts, the writer aborts itself
+	// instead of the readers.
+	CMReaderBiased
+)
+
+// String returns a stable lowercase policy name.
+func (p CMPolicy) String() string {
+	switch p {
+	case CMCommitterWins:
+		return "committer-wins"
+	case CMBackoff:
+		return "backoff"
+	case CMReaderBiased:
+		return "reader-biased"
+	default:
+		return fmt.Sprintf("CMPolicy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a System. The zero value is not usable; call
+// (*Config).withDefaults via New, which fills unset fields.
+type Config struct {
+	// Algo selects the engine. Default NOrec.
+	Algo Algo
+	// MaxThreads bounds the number of concurrently registered threads and
+	// sizes the request-slot array. Default 64, matching the paper's testbed.
+	MaxThreads int
+	// InvalServers is the number of invalidation-server goroutines for
+	// RInvalV2/V3. The paper found 4-8 sufficient on 64 cores. Default 4.
+	InvalServers int
+	// StepsAhead bounds how far the RInvalV3 commit-server may run ahead of
+	// the slowest invalidation-server, in commits. Default 2.
+	StepsAhead int
+	// Bloom is the read/write signature geometry. Default bloom.DefaultParams.
+	Bloom bloom.Params
+	// CM selects the contention manager. Default CMBackoff.
+	CM CMPolicy
+	// ReaderBiasThreshold is the doomed-reader count above which a
+	// CMReaderBiased writer self-aborts. Default 2.
+	ReaderBiasThreshold int
+	// ReaderBiasRetries caps how many times a CMReaderBiased writer yields
+	// to readers before it falls back to committer-wins. Default 3.
+	ReaderBiasRetries int
+	// PinServers dedicates an OS thread to each server goroutine
+	// (runtime.LockOSThread), approximating the paper's core-pinned
+	// deployment on machines with spare cores. Counterproductive when
+	// GOMAXPROCS is small, so it is off by default.
+	PinServers bool
+	// Stats enables per-thread phase timing (read/validation, commit, abort).
+	// Timing costs ~two clock reads per operation, so it is off by default.
+	Stats bool
+	// Seed makes contention-manager jitter reproducible. Default 1.
+	Seed uint64
+}
+
+// withDefaults returns a copy of c with unset fields defaulted and validates
+// the result.
+func (c Config) withDefaults() (Config, error) {
+	if c.MaxThreads == 0 {
+		c.MaxThreads = 64
+	}
+	if c.InvalServers == 0 {
+		// Default to the paper's sweet spot, clamped so small systems work
+		// out of the box.
+		c.InvalServers = 4
+		if c.MaxThreads > 0 && c.InvalServers > c.MaxThreads {
+			c.InvalServers = c.MaxThreads
+		}
+	}
+	if c.StepsAhead == 0 {
+		c.StepsAhead = 2
+	}
+	if c.Bloom == (bloom.Params{}) {
+		c.Bloom = bloom.DefaultParams
+	}
+	if c.ReaderBiasThreshold == 0 {
+		c.ReaderBiasThreshold = 2
+	}
+	if c.ReaderBiasRetries == 0 {
+		c.ReaderBiasRetries = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxThreads < 1 || c.MaxThreads > 4096 {
+		return c, fmt.Errorf("core: MaxThreads %d out of range [1,4096]", c.MaxThreads)
+	}
+	if c.InvalServers < 1 || c.InvalServers > c.MaxThreads {
+		return c, fmt.Errorf("core: InvalServers %d out of range [1,MaxThreads]", c.InvalServers)
+	}
+	if c.StepsAhead < 1 || c.StepsAhead > 64 {
+		return c, fmt.Errorf("core: StepsAhead %d out of range [1,64]", c.StepsAhead)
+	}
+	switch c.Algo {
+	case Mutex, NOrec, InvalSTM, RInvalV1, RInvalV2, RInvalV3, TL2:
+	default:
+		return c, fmt.Errorf("core: unknown Algo %d", c.Algo)
+	}
+	return c, nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import "github.com/ssrg-vt/rinval/internal/spin"
+
+// invalEngine implements InvalSTM-style commit-time invalidation (the
+// paper's Algorithm 1, after Gottschlich et al., CGO 2010). Reads are
+// linear-time — each read checks only the global timestamp and the
+// transaction's own status flag — but the entire invalidation scan runs
+// inside the commit critical section, inflating lock hold time. This is the
+// imbalance RInval removes (§III).
+type invalEngine struct {
+	sys *System
+}
+
+func (e *invalEngine) usesSlots() bool { return true }
+
+func (e *invalEngine) begin(tx *Tx) {}
+
+// read implements Algorithm 1's READ: load the value inside a stable even
+// window of the global timestamp, publish the read-filter bit before the
+// stability re-check, then verify this transaction has not been invalidated.
+func (e *invalEngine) read(tx *Tx, v *Var) (*box, bool) {
+	return invalRead(tx, v, nil)
+}
+
+// invalRead is the read protocol shared by InvalSTM and the RInval engines.
+// caughtUp, when non-nil, adds the RInvalV2/V3 requirement that the reader's
+// own invalidation-server has processed every prior commit (Algorithm 3,
+// line 28).
+func invalRead(tx *Tx, v *Var, caughtUp func(t uint64) bool) (*box, bool) {
+	sys := tx.sys
+	var w spin.Waiter
+	for {
+		t0 := sys.ts.Load()
+		if t0&1 == 1 || (caughtUp != nil && !caughtUp(t0)) {
+			w.Wait()
+			continue
+		}
+		b := v.loadBox()
+		// Publish the read-filter bit before confirming stability: any
+		// committer whose timestamp transition we fail to observe below is
+		// ordered after this OR (sequential consistency), so its
+		// invalidation scan will see the bit.
+		tx.slot.readBF.Add(v.id)
+		if sys.ts.Load() != t0 {
+			w.Wait()
+			continue
+		}
+		if tx.invalidated() {
+			return nil, false
+		}
+		return b, true
+	}
+}
+
+// commit implements Algorithm 1's COMMIT: acquire the global sequence lock
+// with a CAS, re-check the status flag (a commit may have doomed us between
+// the request and the acquisition), invalidate every conflicting in-flight
+// transaction, publish the write set, and release.
+func (e *invalEngine) commit(tx *Tx) bool {
+	sys := e.sys
+	if tx.ws.len() == 0 {
+		// Read-only: every returned value was consistent when read, and
+		// nothing remains to serialize.
+		return true
+	}
+	if tx.invalidated() {
+		return false
+	}
+	if readerBiasedSelfAbort(tx) {
+		return false
+	}
+	var w spin.Waiter
+	var t uint64
+	for {
+		t = sys.ts.Load()
+		if t&1 == 0 && sys.ts.CompareAndSwap(t, t+1) {
+			break
+		}
+		w.Wait()
+	}
+	// Re-check after acquisition (Algorithm 1 checks the flag under the
+	// lock): a commit serialized between our last read and the CAS may have
+	// invalidated us.
+	if tx.invalidated() {
+		sys.ts.Store(t) // release without publishing anything
+		return false
+	}
+	tx.stats.Invalidations += sys.invalidateOthers(tx.th.idx, tx.ws.bf)
+	tx.ws.writeBack()
+	sys.ts.Store(t + 2)
+	return true
+}
+
+func (e *invalEngine) abort(tx *Tx) {}
+
+func (e *invalEngine) serverMains() []func(stop func() bool) { return nil }
+
+func (e *invalEngine) serverStats() Stats { return Stats{} }
+
+// readerBiasedSelfAbort applies the CMReaderBiased policy (the paper's §V
+// future-work contention manager): a writer that would doom more than
+// ReaderBiasThreshold in-flight readers aborts itself instead, for up to
+// ReaderBiasRetries attempts.
+func readerBiasedSelfAbort(tx *Tx) bool {
+	sys := tx.sys
+	if sys.cfg.CM != CMReaderBiased || tx.attempts > sys.cfg.ReaderBiasRetries {
+		return false
+	}
+	if sys.countConflictingReaders(tx.th.idx, tx.ws.bf) > sys.cfg.ReaderBiasThreshold {
+		tx.stats.SelfAborts++
+		return true
+	}
+	return false
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"github.com/ssrg-vt/rinval/internal/bloom"
+	"github.com/ssrg-vt/rinval/internal/spin"
+)
+
+// remoteEngine implements the three Remote Invalidation variants (the
+// paper's Algorithms 2-4) behind one parameterization:
+//
+//   - numInval == 0: RInval-V1. The commit-server executes both the
+//     invalidation scan and the write-back itself. Clients never touch the
+//     global timestamp: they publish a request in their padded slot and spin
+//     on their own cache line, so commit has zero CAS operations and no
+//     shared-lock spinning.
+//   - numInval > 0, stepsAhead == 0: RInval-V2. Invalidation is partitioned
+//     across numInval invalidation-server goroutines that run in parallel
+//     with the commit-server's write-back. The commit-server waits for every
+//     invalidation-server to catch up before starting the next commit.
+//   - numInval > 0, stepsAhead > 0: RInval-V3. The commit-server may run up
+//     to stepsAhead commits past the slowest invalidation-server, provided
+//     the *requester's own* invalidation-server is fully caught up (which
+//     makes the pre-commit status check conclusive). In-flight commit
+//     descriptors live in a ring of stepsAhead+1 padded pointers.
+type remoteEngine struct {
+	sys        *System
+	numInval   int
+	stepsAhead int
+
+	// sigBufs[i] is the stable write-signature buffer for ring slot i. The
+	// commit-server copies the client's write filter here before publishing
+	// the descriptor: the client regains ownership of its write set (and
+	// clears its filter) as soon as it sees the COMMITTED reply, which can
+	// happen while invalidation-servers are still scanning. The ring's
+	// overwrite bound (no server trails by more than stepsAhead commits)
+	// guarantees a buffer is never recycled while a server still reads it.
+	sigBufs []*bloom.Filter
+
+	commitSrv Stats   // commit-server activity (valid after servers stop)
+	invalSrv  []Stats // per-invalidation-server activity
+}
+
+func newRemoteEngine(sys *System, numInval, stepsAhead int) *remoteEngine {
+	e := &remoteEngine{
+		sys:        sys,
+		numInval:   numInval,
+		stepsAhead: stepsAhead,
+		invalSrv:   make([]Stats, numInval),
+		sigBufs:    make([]*bloom.Filter, len(sys.ring)),
+	}
+	for i := range e.sigBufs {
+		e.sigBufs[i] = bloom.NewFilter(sys.cfg.Bloom)
+	}
+	return e
+}
+
+func (e *remoteEngine) usesSlots() bool { return true }
+
+func (e *remoteEngine) begin(tx *Tx) {}
+
+// read uses the shared invalidation read protocol. With invalidation-servers
+// present, a read additionally requires the reader's own server to have
+// processed every prior commit (Algorithm 3 line 28): only then is "my
+// status flag is still ALIVE" proof that no prior commit conflicted.
+func (e *remoteEngine) read(tx *Tx, v *Var) (*box, bool) {
+	if e.numInval == 0 {
+		return invalRead(tx, v, nil)
+	}
+	myTS := &e.sys.invalTS[tx.slot.invalServer]
+	return invalRead(tx, v, func(t uint64) bool { return myTS.Load() >= t })
+}
+
+// commit is the client side of Algorithm 2's CLIENT COMMIT: publish the
+// request, then spin on the private reply field until the commit-server
+// answers. Identical for all three variants.
+func (e *remoteEngine) commit(tx *Tx) bool {
+	if tx.ws.len() == 0 {
+		return true
+	}
+	if tx.invalidated() {
+		return false
+	}
+	if readerBiasedSelfAbort(tx) {
+		return false
+	}
+	sl := tx.slot
+	sl.req.Store(&commitReq{ws: tx.ws})
+	sl.state.Store(reqPending)
+	var w spin.Waiter
+	for {
+		switch sl.state.Load() {
+		case reqCommitted:
+			sl.state.Store(reqIdle)
+			sl.req.Store(nil)
+			return true
+		case reqAborted:
+			sl.state.Store(reqIdle)
+			sl.req.Store(nil)
+			return false
+		}
+		w.Wait()
+	}
+}
+
+func (e *remoteEngine) abort(tx *Tx) {}
+
+func (e *remoteEngine) serverMains() []func(stop func() bool) {
+	mains := []func(stop func() bool){e.commitServerMain}
+	for k := 0; k < e.numInval; k++ {
+		k := k
+		mains = append(mains, func(stop func() bool) { e.invalServerMain(k, stop) })
+	}
+	return mains
+}
+
+func (e *remoteEngine) serverStats() Stats {
+	agg := e.commitSrv
+	for i := range e.invalSrv {
+		agg.Add(e.invalSrv[i])
+	}
+	return agg
+}
+
+// commitServerMain is Algorithm 2/3/4's COMMIT-SERVER LOOP: scan the
+// requests array for PENDING entries and execute them. The scan order gives
+// a round-robin fairness guarantee: a pending request is served within one
+// pass over the array (V3 may defer a request whose invalidation-server
+// lags, but that server's catch-up is itself bounded by the ring).
+func (e *remoteEngine) commitServerMain(stop func() bool) {
+	sys := e.sys
+	var w spin.Waiter
+	for !stop() {
+		progress := false
+		for i := range sys.slots {
+			s := &sys.slots[i]
+			if s.state.Load() != reqPending {
+				continue
+			}
+			if e.handleRequest(i, s) {
+				progress = true
+			}
+		}
+		if progress {
+			w.Reset()
+		} else {
+			w.Wait()
+		}
+	}
+}
+
+// handleRequest executes one commit request. It returns false when the
+// request must be deferred (V3: the requester's invalidation-server has not
+// caught up) so the scan can serve other ready requests first.
+func (e *remoteEngine) handleRequest(i int, s *slot) bool {
+	sys := e.sys
+	t := sys.ts.Load() // even: only this goroutine makes it odd
+
+	if e.numInval > 0 {
+		// Requester's own server must have applied every prior commit's
+		// invalidation so the ALIVE check below is conclusive (Alg. 4 l. 2).
+		if sys.invalTS[s.invalServer].Load() < t {
+			if e.stepsAhead > 0 {
+				return false // defer; serve a request that is ready
+			}
+			// V2: fall through — the wait below catches every server up.
+		}
+		// No invalidation-server may trail by more than stepsAhead commits;
+		// this also guarantees the ring entry we are about to overwrite has
+		// been consumed by every server (Alg. 3 l. 7 / Alg. 4 l. 5).
+		lagBudget := 2 * uint64(e.stepsAhead)
+		for k := range sys.invalTS {
+			var w spin.Waiter
+			for sys.invalTS[k].Load()+lagBudget < t {
+				w.Wait()
+			}
+		}
+	}
+
+	// Status check before touching the timestamp: a doomed request is
+	// answered without burning a timestamp increment (Algorithm 2, line 15,
+	// and the paper's note that this saves bumping the shared timestamp for
+	// doomed transactions).
+	if _, alive := s.aliveWord(); !alive {
+		s.state.Store(reqAborted)
+		return true
+	}
+	req := s.req.Load()
+
+	if e.numInval == 0 {
+		// V1: serial invalidation + write-back by the commit-server.
+		sys.ts.Add(1)
+		e.commitSrv.Invalidations += sys.invalidateOthers(i, req.ws.bf)
+		req.ws.writeBack()
+		sys.ts.Add(1)
+	} else {
+		// V2/V3: hand the signature to the invalidation-servers, then
+		// write back in parallel with their scans. The signature is copied
+		// into a ring-owned buffer because the client reclaims its write
+		// set the moment it sees the reply, while the scans may still run.
+		slot := (t / 2) % uint64(len(sys.ring))
+		e.sigBufs[slot].CopyFrom(req.ws.bf)
+		sys.ring[slot].Store(&commitDesc{bf: e.sigBufs[slot], committer: i})
+		sys.ts.Add(1)
+		req.ws.writeBack()
+		sys.ts.Add(1)
+	}
+	s.state.Store(reqCommitted)
+	e.commitSrv.Commits++
+	return true
+}
+
+// invalServerMain is Algorithm 3's INVALIDATION-SERVER LOOP: whenever the
+// global timestamp passes this server's local timestamp, fetch the pending
+// commit descriptor, doom conflicting transactions in this server's
+// partition, and advance the local timestamp by 2.
+func (e *remoteEngine) invalServerMain(k int, stop func() bool) {
+	sys := e.sys
+	st := &e.invalSrv[k]
+	var w spin.Waiter
+	for !stop() {
+		my := sys.invalTS[k].Load()
+		if sys.ts.Load() > my {
+			// The descriptor for base timestamp `my` was published before
+			// the timestamp moved past it, and the commit-server cannot
+			// overwrite it until this server advances (ring bound).
+			d := sys.ring[(my/2)%uint64(len(sys.ring))].Load()
+			st.Invalidations += sys.invalidatePartition(k, d.committer, d.bf)
+			sys.invalTS[k].Store(my + 2)
+			w.Reset()
+		} else {
+			w.Wait()
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOpacityInvariantPair is the canonical zombie detector: writers keep
+// x + y == 0 invariant (x = -y), readers assert the invariant INSIDE the
+// transaction body. Under opacity a transaction body, even one that will
+// abort, never observes a broken invariant.
+func TestOpacityInvariantPair(t *testing.T) {
+	forEachAlgo(t, func(t *testing.T, algo Algo) {
+		s := newSys(t, algo, nil)
+		x, y := NewVar(0), NewVar(0)
+		stopFlag := &atomic.Bool{}
+		var violations atomic.Int64
+		var wg sync.WaitGroup
+
+		// Writers: move value between x and y keeping the sum zero.
+		for w := 0; w < 3; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := s.MustRegister()
+				defer th.Close()
+				for i := 1; !stopFlag.Load(); i++ {
+					_ = th.Atomically(func(tx *Tx) error {
+						delta := (i % 7) + w
+						tx.Store(x, tx.Load(x).(int)+delta)
+						tx.Store(y, tx.Load(y).(int)-delta)
+						return nil
+					})
+				}
+			}()
+		}
+		// Readers: observe both and check the invariant inside the body.
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := s.MustRegister()
+				defer th.Close()
+				for !stopFlag.Load() {
+					_ = th.Atomically(func(tx *Tx) error {
+						a := tx.Load(x).(int)
+						b := tx.Load(y).(int)
+						if a+b != 0 {
+							violations.Add(1)
+						}
+						return nil
+					})
+				}
+			}()
+		}
+		time.Sleep(300 * time.Millisecond)
+		stopFlag.Store(true)
+		wg.Wait()
+		if violations.Load() != 0 {
+			t.Fatalf("opacity violated %d times", violations.Load())
+		}
+		if x.Peek().(int)+y.Peek().(int) != 0 {
+			t.Fatalf("final invariant broken: %v + %v", x.Peek(), y.Peek())
+		}
+	})
+}
+
+// TestOpacityChainedReads stresses the multi-read window: an array of vars
+// all equal by invariant; writers bump all of them in one transaction;
+// readers load them one by one (giving commits time to land between reads)
+// and check equality inside the body. This is the exact scenario
+// invalidation must catch: a reader whose early reads predate a commit must
+// be doomed before its later reads observe post-commit state.
+func TestOpacityChainedReads(t *testing.T) {
+	forEachAlgo(t, func(t *testing.T, algo Algo) {
+		s := newSys(t, algo, nil)
+		const n = 8
+		vars := make([]*Var, n)
+		for i := range vars {
+			vars[i] = NewVar(0)
+		}
+		stopFlag := &atomic.Bool{}
+		var violations atomic.Int64
+		var wg sync.WaitGroup
+
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := s.MustRegister()
+				defer th.Close()
+				for !stopFlag.Load() {
+					_ = th.Atomically(func(tx *Tx) error {
+						v0 := tx.Load(vars[0]).(int)
+						for _, v := range vars {
+							tx.Store(v, v0+1)
+						}
+						return nil
+					})
+				}
+			}()
+		}
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := s.MustRegister()
+				defer th.Close()
+				for !stopFlag.Load() {
+					_ = th.Atomically(func(tx *Tx) error {
+						first := tx.Load(vars[0]).(int)
+						for _, v := range vars[1:] {
+							if got := tx.Load(v).(int); got != first {
+								violations.Add(1)
+								return nil
+							}
+						}
+						return nil
+					})
+				}
+			}()
+		}
+		time.Sleep(300 * time.Millisecond)
+		stopFlag.Store(true)
+		wg.Wait()
+		if violations.Load() != 0 {
+			t.Fatalf("inconsistent snapshot observed %d times", violations.Load())
+		}
+		final := vars[0].Peek().(int)
+		for i, v := range vars {
+			if v.Peek().(int) != final {
+				t.Fatalf("final state diverged at %d: %v != %d", i, v.Peek(), final)
+			}
+		}
+	})
+}
+
+// TestBankTransferConservation models the classic bank: transfers move money
+// between accounts; auditors sum all accounts transactionally and must
+// always see the exact initial total.
+func TestBankTransferConservation(t *testing.T) {
+	forEachAlgo(t, func(t *testing.T, algo Algo) {
+		s := newSys(t, algo, nil)
+		const accounts = 10
+		const initial = 100
+		accs := make([]*Var, accounts)
+		for i := range accs {
+			accs[i] = NewVar(initial)
+		}
+		stopFlag := &atomic.Bool{}
+		var badAudits atomic.Int64
+		var wg sync.WaitGroup
+
+		for w := 0; w < 3; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := s.MustRegister()
+				defer th.Close()
+				rng := uint64(w + 1)
+				next := func() int {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					return int(rng >> 33)
+				}
+				for !stopFlag.Load() {
+					from, to := next()%accounts, next()%accounts
+					amt := next() % 20
+					_ = th.Atomically(func(tx *Tx) error {
+						tx.Store(accs[from], tx.Load(accs[from]).(int)-amt)
+						tx.Store(accs[to], tx.Load(accs[to]).(int)+amt)
+						return nil
+					})
+				}
+			}()
+		}
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := s.MustRegister()
+				defer th.Close()
+				for !stopFlag.Load() {
+					_ = th.Atomically(func(tx *Tx) error {
+						total := 0
+						for _, a := range accs {
+							total += tx.Load(a).(int)
+						}
+						if total != accounts*initial {
+							badAudits.Add(1)
+						}
+						return nil
+					})
+				}
+			}()
+		}
+		time.Sleep(300 * time.Millisecond)
+		stopFlag.Store(true)
+		wg.Wait()
+		if badAudits.Load() != 0 {
+			t.Fatalf("%d audits saw a wrong total", badAudits.Load())
+		}
+		total := 0
+		for _, a := range accs {
+			total += a.Peek().(int)
+		}
+		if total != accounts*initial {
+			t.Fatalf("money not conserved: %d", total)
+		}
+	})
+}
+
+// TestV3StepsAheadRange runs the chained-read opacity stress across the
+// step-ahead window sizes, since V3's correctness argument (requester's own
+// server caught up) is the subtlest part of the protocol.
+func TestV3StepsAheadRange(t *testing.T) {
+	for _, steps := range []int{1, 2, 4, 8} {
+		steps := steps
+		t.Run(fmtInt("steps", steps), func(t *testing.T) {
+			s := newSys(t, RInvalV3, func(c *Config) {
+				c.StepsAhead = steps
+				c.InvalServers = 3
+			})
+			const n = 6
+			vars := make([]*Var, n)
+			for i := range vars {
+				vars[i] = NewVar(0)
+			}
+			stopFlag := &atomic.Bool{}
+			var violations atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < 3; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := s.MustRegister()
+					defer th.Close()
+					for !stopFlag.Load() {
+						_ = th.Atomically(func(tx *Tx) error {
+							v0 := tx.Load(vars[0]).(int)
+							for _, v := range vars {
+								tx.Store(v, v0+1)
+							}
+							return nil
+						})
+					}
+				}()
+			}
+			for r := 0; r < 3; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := s.MustRegister()
+					defer th.Close()
+					for !stopFlag.Load() {
+						_ = th.Atomically(func(tx *Tx) error {
+							first := tx.Load(vars[0]).(int)
+							for _, v := range vars[1:] {
+								if tx.Load(v).(int) != first {
+									violations.Add(1)
+									return nil
+								}
+							}
+							return nil
+						})
+					}
+				}()
+			}
+			time.Sleep(200 * time.Millisecond)
+			stopFlag.Store(true)
+			wg.Wait()
+			if violations.Load() != 0 {
+				t.Fatalf("steps=%d: %d snapshot violations", steps, violations.Load())
+			}
+		})
+	}
+}
+
+func fmtInt(prefix string, v int) string {
+	return prefix + "=" + string(rune('0'+v/10)) + string(rune('0'+v%10))
+}

@@ -1,0 +1,110 @@
+package core
+
+import "github.com/ssrg-vt/rinval/internal/bloom"
+
+// readEntry records one transactional read: the Var and the version observed.
+// NOrec revalidates by comparing the Var's current version pointer against
+// snap; the invalidation engines keep the log only when stats are enabled.
+type readEntry struct {
+	v    *Var
+	snap *box
+}
+
+// readSet is an append-only log of the transaction's reads. It is reused
+// across transactions on the same thread to amortize allocation.
+type readSet struct {
+	entries []readEntry
+}
+
+func (rs *readSet) add(v *Var, snap *box) {
+	rs.entries = append(rs.entries, readEntry{v: v, snap: snap})
+}
+
+func (rs *readSet) reset() { rs.entries = rs.entries[:0] }
+
+func (rs *readSet) len() int { return len(rs.entries) }
+
+// writeEntry is one buffered write: the target Var and the version to
+// publish at commit.
+type writeEntry struct {
+	v *Var
+	b *box
+}
+
+// wsetMapThreshold is the write-set size beyond which lookups switch from
+// linear scan to a map. Most transactions write a handful of locations, where
+// a scan over a compact slice beats map hashing.
+const wsetMapThreshold = 12
+
+// writeSet buffers a transaction's writes (lazy versioning) together with
+// their bloom signature. The slice preserves program order so write-back is
+// deterministic; idx accelerates read-after-write lookups for large sets.
+type writeSet struct {
+	entries []writeEntry
+	idx     map[*Var]int
+	bf      *bloom.Filter
+}
+
+func newWriteSet(p bloom.Params) *writeSet {
+	return &writeSet{bf: bloom.NewFilter(p)}
+}
+
+// lookup returns the pending version for v, if any.
+func (ws *writeSet) lookup(v *Var) (*box, bool) {
+	if ws.idx != nil {
+		if i, ok := ws.idx[v]; ok {
+			return ws.entries[i].b, true
+		}
+		return nil, false
+	}
+	for i := len(ws.entries) - 1; i >= 0; i-- {
+		if ws.entries[i].v == v {
+			return ws.entries[i].b, true
+		}
+	}
+	return nil, false
+}
+
+// put records a write of b to v, replacing any earlier write to v.
+func (ws *writeSet) put(v *Var, b *box) {
+	if ws.idx != nil {
+		if i, ok := ws.idx[v]; ok {
+			ws.entries[i].b = b
+			return
+		}
+		ws.entries = append(ws.entries, writeEntry{v: v, b: b})
+		ws.idx[v] = len(ws.entries) - 1
+		ws.bf.Add(v.id)
+		return
+	}
+	for i := range ws.entries {
+		if ws.entries[i].v == v {
+			ws.entries[i].b = b
+			return
+		}
+	}
+	ws.entries = append(ws.entries, writeEntry{v: v, b: b})
+	ws.bf.Add(v.id)
+	if len(ws.entries) > wsetMapThreshold {
+		ws.idx = make(map[*Var]int, 2*len(ws.entries))
+		for i, e := range ws.entries {
+			ws.idx[e.v] = i
+		}
+	}
+}
+
+func (ws *writeSet) reset() {
+	ws.entries = ws.entries[:0]
+	ws.idx = nil
+	ws.bf.Clear()
+}
+
+func (ws *writeSet) len() int { return len(ws.entries) }
+
+// writeBack publishes every buffered version. The caller must hold the
+// write-back right (global timestamp odd, or the global mutex).
+func (ws *writeSet) writeBack() {
+	for _, e := range ws.entries {
+		e.v.storeBox(e.b)
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import "time"
+
+// Stats aggregates a thread's transactional activity. With Config.Stats
+// enabled the *Ns fields attribute wall time to the paper's critical-path
+// phases (Figures 2-3): ReadNs covers reads including validation/consistency
+// waits, CommitNs covers the commit routine including lock acquisition or
+// server round-trip, AbortNs covers rollback and contention-manager backoff.
+// Everything else (transaction bodies, non-transactional work) is the paper's
+// "other" block, computed by the harness as wallTime - Read - Commit - Abort.
+type Stats struct {
+	Commits  uint64 // committed transactions
+	Aborts   uint64 // conflict aborts (user aborts are not counted)
+	ReadOnly uint64 // committed transactions that wrote nothing
+	Reads    uint64 // transactional loads (all attempts)
+	Writes   uint64 // transactional stores (all attempts)
+
+	ReadNs   uint64 // time in Tx.Load: value load + validation/invalidation checks
+	CommitNs uint64 // time in commit: acquisition/invalidation/write-back or server wait
+	AbortNs  uint64 // time rolling back + contention-manager backoff
+
+	Validations   uint64 // NOrec full read-set revalidations
+	ValidationOps uint64 // read-set entries compared during revalidations
+	Invalidations uint64 // transactions this thread doomed (InvalSTM commits)
+	SelfAborts    uint64 // CMReaderBiased writer self-aborts
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.ReadOnly += o.ReadOnly
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.ReadNs += o.ReadNs
+	s.CommitNs += o.CommitNs
+	s.AbortNs += o.AbortNs
+	s.Validations += o.Validations
+	s.ValidationOps += o.ValidationOps
+	s.Invalidations += o.Invalidations
+	s.SelfAborts += o.SelfAborts
+}
+
+// AbortRate returns aborts / (commits + aborts), or 0 when idle.
+func (s *Stats) AbortRate() float64 {
+	total := s.Commits + s.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}
+
+// clock abstracts time.Now so tests can make phase accounting deterministic.
+type clock func() time.Time
+
+var realClock clock = time.Now

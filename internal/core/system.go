@@ -1,0 +1,344 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/ssrg-vt/rinval/internal/bloom"
+	"github.com/ssrg-vt/rinval/internal/padded"
+	"github.com/ssrg-vt/rinval/internal/spin"
+)
+
+// engine is the concurrency-control strategy plugged into a System. A Tx
+// funnels every transactional access through its System's engine.
+type engine interface {
+	// usesSlots reports whether the engine relies on the per-thread status
+	// word and read bloom filter (the invalidation engines do; Mutex and
+	// NOrec do not, and skip that bookkeeping).
+	usesSlots() bool
+	// begin runs engine-specific transaction setup (e.g. NOrec's snapshot,
+	// Mutex's lock acquisition).
+	begin(tx *Tx)
+	// read returns the current consistent version of v, or ok=false if the
+	// transaction must abort.
+	read(tx *Tx, v *Var) (b *box, ok bool)
+	// commit attempts to commit tx; false means a conflict abort. Read-only
+	// fast paths are the engine's responsibility.
+	commit(tx *Tx) bool
+	// abort releases engine resources on any abort path (conflict or user).
+	abort(tx *Tx)
+	// serverMains returns the goroutine bodies the System must run for this
+	// engine (commit-server, invalidation-servers). Each receives a stop
+	// predicate it must poll.
+	serverMains() []func(stop func() bool)
+	// serverStats returns activity the servers performed on behalf of
+	// clients (e.g. invalidations executed remotely). Valid after Close.
+	serverStats() Stats
+}
+
+// commitDesc is what the commit-server hands to invalidation-servers: the
+// committer's write signature plus its slot index, so invalidation skips the
+// committer itself (a transaction that reads then writes the same location
+// always self-intersects).
+type commitDesc struct {
+	bf        *bloom.Filter
+	committer int
+}
+
+// System owns the shared state of one STM instance: the global timestamp,
+// the cache-aligned requests array, and — for the RInval engines — the
+// server goroutines. Create with New, dispose with Close.
+type System struct {
+	cfg Config
+
+	// ts is the global even/odd timestamp (sequence lock). Even: no commit
+	// write-back in progress. Odd: a committer is publishing its write set.
+	ts padded.Uint64
+
+	// slots is the cache-aligned requests array (Figure 5), one entry per
+	// registrable thread.
+	slots []slot
+
+	// mu is the Mutex engine's global lock.
+	mu sync.Mutex
+
+	// invalTS[k] is invalidation-server k's local timestamp (RInvalV2/V3).
+	// Always even; server k has processed every commit with base timestamp
+	// below invalTS[k] for its partition.
+	invalTS []padded.Uint64
+
+	// ring holds in-flight commit descriptors for the invalidation-servers.
+	// Slot (base/2) mod len(ring); len(ring) = StepsAhead+1 bounds how many
+	// commits may be awaiting invalidation at once.
+	ring []padded.Pointer[commitDesc]
+
+	eng engine
+
+	regMu     sync.Mutex
+	freeSlots []int
+	live      map[*Thread]struct{}
+	retired   Stats
+	closed    bool
+
+	// yieldPerTx enables a cooperative runtime.Gosched at every transaction
+	// boundary. On machines with few cores the Go scheduler only preempts
+	// busy goroutines every ~10ms, which would make each client/server
+	// handoff (and any writer competing with tight read-only loops) ride on
+	// the preemption tick; yielding at transaction boundaries restores
+	// fairness. On big machines the servers own their cores — the paper's
+	// deployment — and the yield is skipped.
+	yieldPerTx bool
+
+	stop padded.Bool
+	wg   sync.WaitGroup
+}
+
+// New constructs a System and starts any server goroutines its engine needs.
+// The caller must Close it to stop the servers.
+func New(cfg Config) (*System, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:        cfg,
+		live:       make(map[*Thread]struct{}),
+		yieldPerTx: runtime.GOMAXPROCS(0) < 4,
+	}
+	s.slots = make([]slot, cfg.MaxThreads)
+	s.freeSlots = make([]int, 0, cfg.MaxThreads)
+	for i := range s.slots {
+		s.slots[i].readBF = bloom.NewAtomic(cfg.Bloom)
+		s.slots[i].invalServer = i % cfg.InvalServers
+		s.freeSlots = append(s.freeSlots, cfg.MaxThreads-1-i)
+	}
+
+	s.invalTS = make([]padded.Uint64, cfg.InvalServers)
+	s.ring = make([]padded.Pointer[commitDesc], cfg.StepsAhead+1)
+
+	switch cfg.Algo {
+	case Mutex:
+		s.eng = &mutexEngine{sys: s}
+	case NOrec:
+		s.eng = &norecEngine{sys: s}
+	case InvalSTM:
+		s.eng = &invalEngine{sys: s}
+	case RInvalV1:
+		s.eng = newRemoteEngine(s, 0, 0)
+	case RInvalV2:
+		s.eng = newRemoteEngine(s, cfg.InvalServers, 0)
+	case RInvalV3:
+		s.eng = newRemoteEngine(s, cfg.InvalServers, cfg.StepsAhead)
+	case TL2:
+		s.eng = &tl2Engine{sys: s}
+	}
+
+	for _, main := range s.eng.serverMains() {
+		s.wg.Add(1)
+		go func(m func(stop func() bool)) {
+			defer s.wg.Done()
+			if cfg.PinServers {
+				// Dedicate an OS thread to this server, as the paper pins
+				// servers to cores. Unlocked implicitly when the goroutine
+				// exits.
+				runtime.LockOSThread()
+			}
+			m(s.stop.Load)
+		}(main)
+	}
+	return s, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Algo returns the engine selection.
+func (s *System) Algo() Algo { return s.cfg.Algo }
+
+// Close stops the server goroutines and retires the system. All registered
+// threads must be closed and no transaction may be in flight. Close is
+// idempotent.
+func (s *System) Close() error {
+	s.regMu.Lock()
+	if s.closed {
+		s.regMu.Unlock()
+		return nil
+	}
+	if len(s.live) != 0 {
+		s.regMu.Unlock()
+		return fmt.Errorf("core: Close with %d threads still registered", len(s.live))
+	}
+	s.closed = true
+	s.regMu.Unlock()
+
+	s.stop.Store(true)
+	s.wg.Wait()
+	s.retired.Add(s.eng.serverStats())
+	return nil
+}
+
+// Register claims a request slot and returns a Thread bound to it. Each
+// Thread must be used by one goroutine at a time and released with
+// Thread.Close. Register fails when MaxThreads threads are already live.
+func (s *System) Register() (*Thread, error) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("core: Register on closed System")
+	}
+	if len(s.freeSlots) == 0 {
+		return nil, fmt.Errorf("core: all %d slots in use", s.cfg.MaxThreads)
+	}
+	idx := s.freeSlots[len(s.freeSlots)-1]
+	s.freeSlots = s.freeSlots[:len(s.freeSlots)-1]
+	sl := &s.slots[idx]
+	sl.inUse.Store(true)
+	th := &Thread{
+		sys:  s,
+		idx:  idx,
+		slot: sl,
+	}
+	th.tx = Tx{
+		sys:   s,
+		th:    th,
+		slot:  sl,
+		ws:    newWriteSet(s.cfg.Bloom),
+		stats: &th.stats,
+	}
+	th.backoff = spin.NewBackoff(time.Microsecond, 128*time.Microsecond, s.cfg.Seed+uint64(idx)*0x9e37)
+	s.live[th] = struct{}{}
+	return th, nil
+}
+
+// MustRegister is Register that panics on error, for tests and examples.
+func (s *System) MustRegister() *Thread {
+	th, err := s.Register()
+	if err != nil {
+		panic(err)
+	}
+	return th
+}
+
+// release returns a thread's slot to the free pool and folds its stats into
+// the system's retired aggregate.
+func (s *System) release(th *Thread) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if _, ok := s.live[th]; !ok {
+		return
+	}
+	delete(s.live, th)
+	th.slot.inUse.Store(false)
+	s.freeSlots = append(s.freeSlots, th.idx)
+	s.retired.Add(th.stats)
+}
+
+// Stats aggregates statistics from retired threads, live threads, and (after
+// Close) servers. Call it while the system is quiescent; live threads'
+// counters are read without synchronization.
+func (s *System) Stats() Stats {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	agg := s.retired
+	for th := range s.live {
+		agg.Add(th.stats)
+	}
+	return agg
+}
+
+// Timestamp returns the current global timestamp (for tests and diagnostics).
+func (s *System) Timestamp() uint64 { return s.ts.Load() }
+
+// waitEven spins until the global timestamp is even and returns it.
+func (s *System) waitEven() uint64 {
+	var w spin.Waiter
+	for {
+		t := s.ts.Load()
+		if t&1 == 0 {
+			return t
+		}
+		w.Wait()
+	}
+}
+
+// invalidateOthers dooms every in-flight transaction (except the committer's
+// slot) whose read signature intersects bf. It returns the number of
+// transactions doomed. Used inline by InvalSTM and RInvalV1's commit-server,
+// and per-partition by the invalidation-servers.
+func (s *System) invalidateOthers(committer int, bf *bloom.Filter) uint64 {
+	var doomed uint64
+	for i := range s.slots {
+		if i == committer {
+			continue
+		}
+		doomed += s.invalidateSlot(i, bf)
+	}
+	return doomed
+}
+
+// invalidatePartition is invalidateOthers restricted to invalidation-server
+// k's partition.
+func (s *System) invalidatePartition(k, committer int, bf *bloom.Filter) uint64 {
+	var doomed uint64
+	for i := k; i < len(s.slots); i += s.cfg.InvalServers {
+		if i == committer {
+			continue
+		}
+		doomed += s.invalidateSlot(i, bf)
+	}
+	return doomed
+}
+
+// invalidateSlot applies the doom check to one slot. The status word is
+// captured before the filter intersection so the CAS can only doom the exact
+// transaction incarnation whose bits were observed.
+func (s *System) invalidateSlot(i int, bf *bloom.Filter) uint64 {
+	sl := &s.slots[i]
+	if !sl.inUse.Load() {
+		return 0
+	}
+	w, alive := sl.aliveWord()
+	if !alive {
+		return 0
+	}
+	if !sl.readBF.IntersectsFilter(bf) {
+		return 0
+	}
+	if sl.tryInvalidate(w) {
+		return 1
+	}
+	return 0
+}
+
+// countConflictingReaders counts in-flight transactions whose read signature
+// intersects bf — the CMReaderBiased policy's doom estimate.
+func (s *System) countConflictingReaders(committer int, bf *bloom.Filter) int {
+	n := 0
+	for i := range s.slots {
+		if i == committer {
+			continue
+		}
+		sl := &s.slots[i]
+		if !sl.inUse.Load() {
+			continue
+		}
+		if _, alive := sl.aliveWord(); !alive {
+			continue
+		}
+		if sl.readBF.IntersectsFilter(bf) {
+			n++
+		}
+	}
+	return n
+}

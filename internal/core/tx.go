@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// conflictSignal unwinds a transaction body when the engine detects a
+// conflict mid-flight (e.g. an invalidation engine observing its INVALIDATED
+// flag on a read). It is thrown with panic and caught by Thread.Atomically,
+// which retries the transaction; it never escapes the package.
+type conflictSignal struct{}
+
+// Thread binds a goroutine to one entry of the cache-aligned requests array.
+// Obtain with System.Register, release with Close. A Thread (and its
+// transactions) must be driven by a single goroutine at a time.
+type Thread struct {
+	sys     *System
+	idx     int
+	slot    *slot
+	tx      Tx
+	backoff backoffState
+	stats   Stats
+	inTx    bool
+	closed  bool
+}
+
+// backoffState is a tiny wrapper so Thread can hold a *spin.Backoff without
+// exposing the dependency in its public surface.
+type backoffState = interface {
+	Pause()
+	Reset()
+}
+
+// ID returns the thread's slot index within the requests array.
+func (th *Thread) ID() int { return th.idx }
+
+// Stats returns a copy of the thread's counters. Call it when the thread is
+// not inside Atomically.
+func (th *Thread) Stats() Stats { return th.stats }
+
+// Close releases the thread's slot. It panics if called inside Atomically.
+func (th *Thread) Close() {
+	if th.inTx {
+		panic("core: Thread.Close inside a transaction")
+	}
+	if th.closed {
+		return
+	}
+	th.closed = true
+	th.sys.release(th)
+}
+
+// Atomically runs fn as a transaction, retrying on conflicts until it
+// commits. If fn returns a non-nil error the transaction's writes are
+// discarded and the error is returned (a user abort). fn may be re-executed
+// many times and must confine its side effects to Tx operations.
+func (th *Thread) Atomically(fn func(*Tx) error) error {
+	if th.closed {
+		panic("core: Atomically on closed Thread")
+	}
+	if th.inTx {
+		panic("core: nested Atomically (flat nesting is not supported; pass the Tx down)")
+	}
+	th.inTx = true
+	defer func() {
+		th.inTx = false
+		if th.sys.yieldPerTx {
+			runtime.Gosched()
+		}
+	}()
+
+	tx := &th.tx
+	tx.attempts = 0
+	th.backoff.Reset()
+	for {
+		tx.begin()
+		err, conflicted := tx.run(fn)
+		if conflicted {
+			tx.onConflictAbort()
+			continue
+		}
+		if err != nil {
+			tx.onUserAbort()
+			return err
+		}
+		if tx.finishCommit() {
+			return nil
+		}
+		tx.onConflictAbort()
+	}
+}
+
+// Tx is one transaction attempt's view of the world. It is only valid inside
+// the Atomically callback that received it.
+type Tx struct {
+	sys  *System
+	th   *Thread
+	slot *slot
+
+	rs    readSet
+	ws    *writeSet
+	start uint64 // NOrec: timestamp snapshot
+
+	attempts int
+	stats    *Stats
+	direct   bool // Mutex engine: operate on Vars directly under the lock
+}
+
+// Attempt returns the 1-based attempt number of the current execution, so
+// workloads can observe retry behaviour.
+func (tx *Tx) Attempt() int { return tx.attempts }
+
+// System returns the owning System.
+func (tx *Tx) System() *System { return tx.sys }
+
+// begin resets per-attempt state and runs the engine's begin hook.
+func (tx *Tx) begin() {
+	tx.attempts++
+	tx.rs.reset()
+	tx.ws.reset()
+	if tx.sys.eng.usesSlots() {
+		// Order matters: clear the read signature while the slot is not
+		// alive, then publish the new (epoch, ALIVE) word. A server holding
+		// the previous word can no longer doom this incarnation (CAS epoch
+		// guard), and one scanning after the store sees an empty filter.
+		tx.slot.readBF.Clear()
+		epoch := (tx.slot.status.Load() >> epochShift) + 1
+		tx.slot.status.Store(statusWord(epoch, txAlive))
+	}
+	tx.sys.eng.begin(tx)
+}
+
+// run executes the user function, translating a conflictSignal panic into
+// conflicted=true. Other panics propagate after the engine's resources are
+// released (so e.g. the Mutex engine's global lock is not leaked).
+func (tx *Tx) run(fn func(*Tx) error) (err error, conflicted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(conflictSignal); ok {
+				conflicted = true
+				return
+			}
+			tx.sys.eng.abort(tx)
+			tx.deactivateSlot()
+			panic(r)
+		}
+	}()
+	return fn(tx), false
+}
+
+// Load returns the transaction's view of v, aborting (via conflictSignal) if
+// the engine detects a conflict.
+func (tx *Tx) Load(v *Var) any {
+	tx.stats.Reads++
+	if tx.direct {
+		if b, ok := tx.ws.lookup(v); ok {
+			return b.v
+		}
+		return v.loadBox().v
+	}
+	if b, ok := tx.ws.lookup(v); ok {
+		return b.v
+	}
+	var t0 time.Time
+	if tx.sys.cfg.Stats {
+		t0 = realClock()
+	}
+	b, ok := tx.sys.eng.read(tx, v)
+	if tx.sys.cfg.Stats {
+		tx.stats.ReadNs += uint64(realClock().Sub(t0))
+	}
+	if !ok {
+		panic(conflictSignal{})
+	}
+	tx.rs.add(v, b)
+	return b.v
+}
+
+// Store buffers a write of val to v; it becomes visible atomically at commit.
+func (tx *Tx) Store(v *Var, val any) {
+	tx.stats.Writes++
+	tx.ws.put(v, &box{v: val})
+}
+
+// finishCommit drives the engine commit and updates stats/slot state.
+func (tx *Tx) finishCommit() bool {
+	var t0 time.Time
+	if tx.sys.cfg.Stats {
+		t0 = realClock()
+	}
+	ok := tx.sys.eng.commit(tx)
+	if tx.sys.cfg.Stats {
+		tx.stats.CommitNs += uint64(realClock().Sub(t0))
+	}
+	tx.deactivateSlot()
+	if ok {
+		tx.stats.Commits++
+		if tx.ws.len() == 0 {
+			tx.stats.ReadOnly++
+		}
+	}
+	return ok
+}
+
+// onConflictAbort rolls back after a conflict and applies the contention
+// manager's retry policy.
+func (tx *Tx) onConflictAbort() {
+	var t0 time.Time
+	if tx.sys.cfg.Stats {
+		t0 = realClock()
+	}
+	tx.sys.eng.abort(tx)
+	tx.deactivateSlot()
+	tx.stats.Aborts++
+	if tx.sys.cfg.CM != CMCommitterWins {
+		tx.th.backoff.Pause()
+	}
+	if tx.sys.cfg.Stats {
+		tx.stats.AbortNs += uint64(realClock().Sub(t0))
+	}
+}
+
+// onUserAbort rolls back after the user function returned an error.
+func (tx *Tx) onUserAbort() {
+	tx.sys.eng.abort(tx)
+	tx.deactivateSlot()
+}
+
+// deactivateSlot retires the slot's status word so servers stop considering
+// this thread in-flight. The epoch field is preserved: the next begin bumps
+// it, invalidating any doom a server is still trying to apply.
+func (tx *Tx) deactivateSlot() {
+	if !tx.sys.eng.usesSlots() {
+		return
+	}
+	w := tx.slot.status.Load()
+	tx.slot.status.Store((w &^ statusBits) | txInactive)
+}
+
+// invalidated reports whether this transaction incarnation has been doomed.
+func (tx *Tx) invalidated() bool {
+	_, alive := tx.slot.aliveWord()
+	return !alive
+}
+
+// String identifies the transaction for debugging.
+func (tx *Tx) String() string {
+	return fmt.Sprintf("tx{thread=%d attempt=%d reads=%d writes=%d}",
+		tx.th.idx, tx.attempts, tx.rs.len(), tx.ws.len())
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sync/atomic"
+)
+
+// varID hands out unique identities for bloom-filter hashing. The RSTM
+// implementation hashes memory addresses; hashing a stable counter avoids any
+// dependence on Go allocator layout and keeps runs reproducible.
+var varID atomic.Uint64
+
+// box is an immutable published version of a Var's value. Write-back installs
+// a fresh box, so two loads returning the same *box are guaranteed to be the
+// same version — pointer comparison is NOrec's value-based validation, made
+// conservative (a re-written equal value reads as a change, which can only
+// cause an extra abort, never a missed conflict).
+type box struct {
+	v any
+}
+
+// Var is one transactional memory location. Create Vars with NewVar; access
+// them only through a transaction (Tx.Load / Tx.Store). The zero value is not
+// usable.
+//
+// Vars are engine-agnostic: the same Var works under every Algo, but a Var
+// must only ever be accessed through a single System at a time — the
+// consistency argument hinges on one global timestamp covering all accesses.
+type Var struct {
+	id  uint64
+	val atomic.Pointer[box]
+	// verlock is the TL2 engine's versioned write-lock: bit 0 is the lock
+	// bit, the remaining bits hold the version (global-clock value of the
+	// last commit that wrote this Var). Unused by the coarse-grained
+	// engines, whose consistency is anchored on the global timestamp.
+	verlock atomic.Uint64
+}
+
+// NewVar returns a Var holding initial.
+func NewVar(initial any) *Var {
+	v := &Var{id: varID.Add(1)}
+	v.val.Store(&box{v: initial})
+	return v
+}
+
+// ID returns the Var's bloom-hash identity. Exposed for tests and for the
+// simulator's workload models.
+func (v *Var) ID() uint64 { return v.id }
+
+// loadBox returns the current published version.
+func (v *Var) loadBox() *box { return v.val.Load() }
+
+// storeBox publishes a new version. Only commit write-back (by the committing
+// thread, or by the commit-server on its behalf) may call this, and only
+// while the global timestamp is odd.
+func (v *Var) storeBox(b *box) { v.val.Store(b) }
+
+// Peek returns the current committed value without any transactional
+// protection. It is intended for single-threaded inspection (test assertions,
+// post-run validation) and must not be used while transactions are running.
+func (v *Var) Peek() any { return v.loadBox().v }
+
+// Set unconditionally replaces the committed value without transactional
+// protection. Like Peek, it is for quiescent setup/teardown only.
+func (v *Var) Set(val any) { v.storeBox(&box{v: val}) }

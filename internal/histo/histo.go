@@ -1,0 +1,140 @@
+// Package histo provides a small log-scaled histogram for latency
+// measurements. The benchmark harness records per-transaction latencies with
+// it to expose the *distribution* behind the throughput numbers: remote
+// commit trades a longer per-commit round trip for immunity to shared-lock
+// convoys, which shows up as a tighter tail, not a better median.
+//
+// Buckets are powers of two (one per bit length), so Record is two
+// instructions and quantiles are exact to within a factor of two — ample for
+// comparing engines orders of magnitude apart.
+package histo
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// numBuckets covers the full uint64 range: bucket i holds values with bit
+// length i (value 0 goes to bucket 0).
+const numBuckets = 65
+
+// Histogram accumulates non-negative integer samples (typically
+// nanoseconds). The zero value is ready to use. Not safe for concurrent
+// use; give each worker its own and Merge.
+type Histogram struct {
+	buckets [numBuckets]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v uint64) {
+	h.buckets[bits.Len64(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest sample, or 0 when empty.
+func (h *Histogram) Min() uint64 { return h.min }
+
+// Max returns the largest sample, or 0 when empty.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1): the
+// geometric midpoint of the bucket containing it, clamped to [Min, Max].
+// Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= target {
+			est := bucketMid(i)
+			if est < h.min {
+				est = h.min
+			}
+			if est > h.max {
+				est = h.max
+			}
+			return est
+		}
+	}
+	return h.max
+}
+
+// bucketMid returns the geometric midpoint of bucket i: values in bucket i
+// have bit length i, i.e. lie in [2^(i-1), 2^i).
+func bucketMid(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	lo := uint64(1) << (i - 1)
+	return lo + lo/2
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// String summarizes the distribution for logs.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "histo{empty}"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "histo{n=%d mean=%.0f p50=%d p90=%d p99=%d max=%d}",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.max)
+	return sb.String()
+}

@@ -1,0 +1,119 @@
+package padded
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestCellSizes(t *testing.T) {
+	// Each padded cell must span at least two cache lines so that the hot
+	// word cannot share a line with a neighbouring cell no matter how the
+	// enclosing array aligns.
+	if s := unsafe.Sizeof(Uint64{}); s < 2*CacheLineSize-8 {
+		t.Errorf("Uint64 size %d too small", s)
+	}
+	if s := unsafe.Sizeof(Uint32{}); s < 2*CacheLineSize-4 {
+		t.Errorf("Uint32 size %d too small", s)
+	}
+	if s := unsafe.Sizeof(Bool{}); s < 2*CacheLineSize-4 {
+		t.Errorf("Bool size %d too small", s)
+	}
+	if s := unsafe.Sizeof(Pointer[int]{}); s < 2*CacheLineSize-8 {
+		t.Errorf("Pointer size %d too small", s)
+	}
+}
+
+func TestHotWordsOnDistinctLines(t *testing.T) {
+	var arr [4]Uint64
+	for i := 0; i < 3; i++ {
+		a := uintptr(unsafe.Pointer(&arr[i].v))
+		b := uintptr(unsafe.Pointer(&arr[i+1].v))
+		if b-a < CacheLineSize {
+			t.Errorf("adjacent hot words %d apart, want >= %d", b-a, CacheLineSize)
+		}
+	}
+}
+
+func TestUint64Ops(t *testing.T) {
+	var c Uint64
+	if c.Load() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	c.Store(41)
+	if got := c.Add(1); got != 42 {
+		t.Fatalf("Add: got %d want 42", got)
+	}
+	if !c.CompareAndSwap(42, 7) {
+		t.Fatal("CAS(42,7) failed")
+	}
+	if c.CompareAndSwap(42, 9) {
+		t.Fatal("CAS(42,9) succeeded on stale expectation")
+	}
+	if c.Load() != 7 {
+		t.Fatalf("final value %d want 7", c.Load())
+	}
+}
+
+func TestUint32Ops(t *testing.T) {
+	var c Uint32
+	c.Store(1)
+	if got := c.Add(2); got != 3 {
+		t.Fatalf("Add: got %d want 3", got)
+	}
+	if !c.CompareAndSwap(3, 5) || c.Load() != 5 {
+		t.Fatal("CAS path broken")
+	}
+}
+
+func TestBool(t *testing.T) {
+	var b Bool
+	if b.Load() {
+		t.Fatal("zero value true")
+	}
+	b.Store(true)
+	if !b.Load() {
+		t.Fatal("Store(true) lost")
+	}
+	b.Store(false)
+	if b.Load() {
+		t.Fatal("Store(false) lost")
+	}
+}
+
+func TestPointer(t *testing.T) {
+	var p Pointer[int]
+	x, y := 1, 2
+	if p.Load() != nil {
+		t.Fatal("zero value non-nil")
+	}
+	p.Store(&x)
+	if p.Load() != &x {
+		t.Fatal("Store lost")
+	}
+	if old := p.Swap(&y); old != &x {
+		t.Fatal("Swap returned wrong old pointer")
+	}
+	if !p.CompareAndSwap(&y, nil) || p.Load() != nil {
+		t.Fatal("CAS path broken")
+	}
+}
+
+func TestUint64ConcurrentAdd(t *testing.T) {
+	var c Uint64
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != workers*per {
+		t.Fatalf("lost updates: got %d want %d", c.Load(), workers*per)
+	}
+}

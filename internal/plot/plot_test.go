@@ -1,0 +1,95 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "Figure 7(a)",
+		XLabel: "threads",
+		YLabel: "K tx/s",
+		Series: []Series{
+			{Name: "norec", X: []float64{2, 4, 8}, Y: []float64{800, 1600, 3000}},
+			{Name: "rinval-v2", X: []float64{2, 4, 8}, Y: []float64{810, 1550, 2700}},
+		},
+	}
+}
+
+func TestRenderWellFormedXML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"norec", "rinval-v2", "Figure 7(a)", "threads", "K tx/s", "<path", "<circle"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in SVG", want)
+		}
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	cases := []*Chart{
+		{Title: "empty"},
+		{Series: []Series{{Name: "m", X: []float64{1, 2}, Y: []float64{1}}}},
+		{Series: []Series{{Name: "e"}}},
+		{Series: []Series{{Name: "u", X: []float64{2, 1}, Y: []float64{1, 2}}}},
+	}
+	for i, c := range cases {
+		var buf bytes.Buffer
+		if err := c.Render(&buf); err == nil {
+			t.Errorf("case %d: bad chart accepted", i)
+		}
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	// Single point and constant-zero series must not divide by zero.
+	c := &Chart{
+		Title: "degenerate",
+		Series: []Series{
+			{Name: "p", X: []float64{5}, Y: []float64{0}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") || strings.Contains(buf.String(), "Inf") {
+		t.Fatal("degenerate chart produced NaN/Inf coordinates")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape(`a<b>&"c"`) != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Fatalf("escape: %q", escape(`a<b>&"c"`))
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		2:         "2",
+		2.5:       "2.5",
+		12000:     "12K",
+		3_400_000: "3.4M",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v) = %q want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventHeapOrdering(t *testing.T) {
+	var h eventHeap
+	heap.Push(&h, event{t: 30, th: 0, seq: 1})
+	heap.Push(&h, event{t: 10, th: 1, seq: 2})
+	heap.Push(&h, event{t: 10, th: 2, seq: 3})
+	heap.Push(&h, event{t: 20, th: 3, seq: 4})
+	var order []int
+	for h.Len() > 0 {
+		order = append(order, heap.Pop(&h).(event).th)
+	}
+	// Time order, FIFO (seq) tie-break.
+	want := []int{1, 2, 3, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEventHeapFIFOTieBreakProperty(t *testing.T) {
+	f := func(times []uint8) bool {
+		var h eventHeap
+		for i, tt := range times {
+			heap.Push(&h, event{t: uint64(tt), th: i, seq: uint64(i)})
+		}
+		lastT := uint64(0)
+		lastSeqAtT := uint64(0)
+		for h.Len() > 0 {
+			e := heap.Pop(&h).(event)
+			if e.t < lastT {
+				return false
+			}
+			if e.t == lastT && e.seq < lastSeqAtT {
+				return false
+			}
+			if e.t != lastT {
+				lastSeqAtT = 0
+			}
+			lastT = e.t
+			lastSeqAtT = e.seq
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTestDES() *des {
+	return &des{
+		p:       DefaultParams(),
+		w:       RBTree(50),
+		c:       DefaultConfig(NOrec, 4),
+		thr:     make([]thread, 4),
+		rng:     1,
+		oversub: 1,
+	}
+}
+
+func TestWritebackStall(t *testing.T) {
+	d := newTestDES()
+	d.writebacks = []interval{{100, 200}, {500, 600}}
+	cases := []struct {
+		at   uint64
+		want uint64
+	}{
+		{50, 0},    // before any window
+		{100, 100}, // at window start
+		{150, 50},  // inside first window
+		{199, 1},   // last cycle of first window
+		{200, 0},   // half-open end
+		{300, 0},   // between windows
+		{550, 50},  // inside second window
+		{700, 0},   // after all windows
+	}
+	for _, c := range cases {
+		if got := d.writebackStall(c.at); got != c.want {
+			t.Errorf("stall(%d) = %d, want %d", c.at, got, c.want)
+		}
+	}
+}
+
+func TestSpinnersAt(t *testing.T) {
+	d := newTestDES()
+	d.commitWaits = []interval{{0, 100}, {50, 150}, {120, 130}}
+	cases := []struct {
+		at   uint64
+		want uint64
+	}{
+		{10, 1},
+		{60, 2},
+		{125, 2},
+		{140, 1},
+		{200, 0},
+	}
+	for _, c := range cases {
+		if got := d.spinnersAt(c.at); got != c.want {
+			t.Errorf("spinners(%d) = %d, want %d", c.at, got, c.want)
+		}
+	}
+}
+
+func TestPruneWindows(t *testing.T) {
+	d := newTestDES()
+	for i := uint64(0); i < 2000; i++ {
+		d.writebacks = append(d.writebacks, interval{i, i + 1})
+		d.commitWaits = append(d.commitWaits, interval{i, i + 1})
+	}
+	d.pruneWindows()
+	if len(d.writebacks) > 600 || len(d.commitWaits) > 600 {
+		t.Fatalf("prune left %d/%d windows", len(d.writebacks), len(d.commitWaits))
+	}
+	// Pruning keeps the most recent windows.
+	last := d.writebacks[len(d.writebacks)-1]
+	if last.start != 1999 {
+		t.Fatalf("lost the newest window: %+v", last)
+	}
+}
+
+func TestStretch(t *testing.T) {
+	d := newTestDES()
+	d.oversub = 1
+	if d.stretch(100) != 100 {
+		t.Fatal("no oversubscription must not stretch")
+	}
+	d.oversub = 2.5
+	if got := d.stretch(100); got != 250 {
+		t.Fatalf("stretch(100) = %d", got)
+	}
+}
+
+func TestBernoulliDeterministicAndBounded(t *testing.T) {
+	a, b := newTestDES(), newTestDES()
+	for i := 0; i < 100; i++ {
+		if a.bernoulli(0.5) != b.bernoulli(0.5) {
+			t.Fatal("same seed diverged")
+		}
+	}
+	d := newTestDES()
+	if d.bernoulli(0) {
+		t.Fatal("p=0 fired")
+	}
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if d.bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("bernoulli(0.3) rate %v", rate)
+	}
+}
+
+func TestOversubscriptionKicksIn(t *testing.T) {
+	p := DefaultParams()
+	w := RBTree(50)
+	// 70 threads on 64 cores with 5 server cores reserved: V2 oversubscribes.
+	c := DefaultConfig(RInvalV2, 70)
+	c.Duration = 2_000_000
+	r := MustRun(p, w, c)
+	if r.Commits == 0 {
+		t.Fatal("no progress under oversubscription")
+	}
+	// Per-thread throughput must be below the non-oversubscribed run's.
+	c2 := DefaultConfig(RInvalV2, 32)
+	c2.Duration = 2_000_000
+	r2 := MustRun(p, w, c2)
+	perThread70 := float64(r.Commits) / 70
+	perThread32 := float64(r2.Commits) / 32
+	if perThread70 >= perThread32 {
+		t.Fatalf("oversubscription did not cost: %f >= %f", perThread70, perThread32)
+	}
+}
+
+func TestTL2ScalesPastCoarseEngines(t *testing.T) {
+	p := DefaultParams()
+	w := RBTree(50)
+	tl2 := MustRun(p, w, shortCfg(TL2, 48)).Commits
+	norec := MustRun(p, w, shortCfg(NOrec, 48)).Commits
+	v2 := MustRun(p, w, shortCfg(RInvalV2, 48)).Commits
+	if tl2 <= norec || tl2 <= v2 {
+		t.Fatalf("fine-grained TL2 (%d) should outscale NOrec (%d) and V2 (%d) at 48 threads", tl2, norec, v2)
+	}
+	// At low thread counts the engines should be comparable (overhead-bound).
+	tl2lo := MustRun(p, w, shortCfg(TL2, 2)).Commits
+	norecLo := MustRun(p, w, shortCfg(NOrec, 2)).Commits
+	ratio := float64(tl2lo) / float64(norecLo)
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("TL2/NOrec at 2 threads = %.2f, want ~1", ratio)
+	}
+}

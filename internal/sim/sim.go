@@ -1,0 +1,224 @@
+// Package sim is a deterministic discrete-event simulator of the paper's
+// experimental platform: a 64-core cache-coherent machine running one of the
+// six STM engines. It exists because the live Go runtime on this project's
+// CI hardware (few cores, goroutine scheduling, GC) cannot reproduce the
+// cache-contention effects the paper measures — spinning on a shared
+// sequence lock costing O(#spinners) coherence transfers per handoff, versus
+// RInval's local spinning on cache-aligned slots.
+//
+// The simulator models, in CPU cycles:
+//
+//   - a cost hierarchy (cache hit, remote cache miss, CAS, bloom ops);
+//   - the global sequence lock with contention-dependent handoff cost
+//     (each acquisition broadcasts an invalidation to every spinner);
+//   - per-engine critical paths: NOrec's incremental validation (full
+//     read-set re-check whenever the timestamp moved), InvalSTM's
+//     invalidation scan inside the commit critical section, and RInval's
+//     commit-server pipeline with parallel invalidation servers;
+//   - conflicts: each commit dooms each concurrently running transaction
+//     with a workload-specific probability (plus a bloom false-positive
+//     surcharge for the invalidation engines);
+//   - optional OS jitter on lock holders — the paper's argument that a
+//     descheduled commit executor blocks the whole system while a pinned
+//     commit-server does not.
+//
+// Results are exact (same seed, same output) and reproduce the *shapes* of
+// the paper's Figures 2, 3, 7 and 8; absolute numbers are synthetic.
+package sim
+
+import "fmt"
+
+// Engine mirrors the live engines (core.Algo) for the modeled machine.
+type Engine int
+
+// Modeled engines.
+const (
+	Mutex Engine = iota
+	NOrec
+	InvalSTM
+	RInvalV1
+	RInvalV2
+	RInvalV3
+	// TL2 models the fine-grained baseline (per-location versioned locks,
+	// global clock): commits CAS one lock per written location and validate
+	// the read set, with no global serialization point. Used by the
+	// coarse-vs-fine ablation.
+	TL2
+)
+
+// String returns the plot name.
+func (e Engine) String() string {
+	switch e {
+	case Mutex:
+		return "mutex"
+	case NOrec:
+		return "norec"
+	case InvalSTM:
+		return "invalstm"
+	case RInvalV1:
+		return "rinval-v1"
+	case RInvalV2:
+		return "rinval-v2"
+	case RInvalV3:
+		return "rinval-v3"
+	case TL2:
+		return "tl2"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Engines lists the modeled engines in presentation order.
+var Engines = []Engine{Mutex, NOrec, InvalSTM, RInvalV1, RInvalV2, RInvalV3, TL2}
+
+// ParseEngine converts a name back to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	for _, e := range Engines {
+		if e.String() == s {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown engine %q", s)
+}
+
+// Params is the hardware cost model, in cycles. DefaultParams approximates
+// the paper's 2.2 GHz 64-core AMD Opteron.
+type Params struct {
+	CacheHit  uint64 // L1 hit / core-local access
+	CacheMiss uint64 // remote cache line transfer
+	CAS       uint64 // uncontended compare-and-swap
+	BFCheck   uint64 // bloom filter intersection by an application thread (cold lines)
+	BFAdd     uint64 // bloom filter bit set
+	// ServerBFCheck is the per-slot intersection cost on a dedicated
+	// server: the requests array stays resident in the server's cache
+	// (the paper's cache-aligned communication argument), so the scan is
+	// cheaper than InvalSTM's scan from a different thread each commit.
+	ServerBFCheck uint64
+	// HandoffPerSpinner is the extra coherence cost each spinning thread
+	// adds to every shared-lock handoff (invalidation broadcast + refill).
+	HandoffPerSpinner uint64
+	// JitterProb is the per-commit probability that the thread executing a
+	// commit routine on an application core is descheduled mid-commit;
+	// JitterCycles is the stall. Dedicated server cores are exempt (the
+	// paper's §IV-A argument).
+	JitterProb   float64
+	JitterCycles uint64
+	// InvalLagProb/InvalLagCycles inject a stall into one invalidation
+	// server's scan (OS noise, paging — the paper's §IV-C motivation for
+	// V3's step-ahead commit). Under lag, V2's commit-server blocks waiting
+	// for the slow server; V3 keeps committing requests whose own server is
+	// current.
+	InvalLagProb   float64
+	InvalLagCycles uint64
+	// GHz converts cycles to seconds for throughput reporting.
+	GHz float64
+}
+
+// DefaultParams models the paper's testbed.
+func DefaultParams() Params {
+	return Params{
+		CacheHit:          2,
+		CacheMiss:         120,
+		CAS:               60,
+		BFCheck:           40,
+		BFAdd:             8,
+		ServerBFCheck:     30,
+		HandoffPerSpinner: 50,
+		JitterProb:        0.0005,
+		JitterCycles:      200_000,
+		GHz:               2.2,
+	}
+}
+
+// Workload describes a transaction population.
+type Workload struct {
+	Name string
+	// Reads/Writes per update transaction.
+	Reads, Writes int
+	// ReadOnlyFrac is the fraction of transactions that write nothing.
+	ReadOnlyFrac float64
+	// PerReadWork is non-shared computation per read (cycles).
+	PerReadWork uint64
+	// TxCompute is extra computation inside the transaction after the reads
+	// (labyrinth's BFS, bayes' scoring happens outside; see NonTxWork).
+	TxCompute uint64
+	// NonTxWork is computation between transactions (cycles).
+	NonTxWork uint64
+	// PConflict is the probability that one commit's write set intersects
+	// one concurrently running transaction's read set.
+	PConflict float64
+	// PFalseBloom is the additional false-conflict probability the
+	// invalidation engines pay for signature imprecision.
+	PFalseBloom float64
+}
+
+// Config selects engine, scale, and duration.
+type Config struct {
+	Engine       Engine
+	Threads      int
+	InvalServers int    // RInvalV2/V3
+	StepsAhead   int    // RInvalV3
+	Cores        int    // physical cores; threads beyond cores timeshare
+	Duration     uint64 // simulated cycles
+	Seed         uint64
+}
+
+// DefaultConfig returns the paper-scale machine: 64 cores, 4 invalidation
+// servers, 50M cycles (~23ms at 2.2GHz).
+func DefaultConfig(e Engine, threads int) Config {
+	return Config{
+		Engine:       e,
+		Threads:      threads,
+		InvalServers: 4,
+		StepsAhead:   2,
+		Cores:        64,
+		Duration:     50_000_000,
+		Seed:         1,
+	}
+}
+
+// Result is one simulation's outcome.
+type Result struct {
+	Engine  Engine
+	Threads int
+	Commits uint64
+	Aborts  uint64
+	Cycles  uint64
+
+	// Phase totals across all threads, in cycles (the paper's Figure 2/3
+	// breakdown: read incl. validation, commit incl. acquisition/server
+	// round trip, abort incl. backoff, other = everything else).
+	ReadCycles   uint64
+	CommitCycles uint64
+	AbortCycles  uint64
+	OtherCycles  uint64
+}
+
+// ThroughputKTxPerSec converts to the paper's Figure 7 unit.
+func (r Result) ThroughputKTxPerSec(p Params) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(r.Cycles) / (p.GHz * 1e9)
+	return float64(r.Commits) / seconds / 1e3
+}
+
+// AbortRate returns aborts/(commits+aborts).
+func (r Result) AbortRate() float64 {
+	t := r.Commits + r.Aborts
+	if t == 0 {
+		return 0
+	}
+	return float64(r.Aborts) / float64(t)
+}
+
+// Breakdown returns the phase fractions (read, commit, abort, other) of
+// total busy time.
+func (r Result) Breakdown() (read, commit, abort, other float64) {
+	total := float64(r.ReadCycles + r.CommitCycles + r.AbortCycles + r.OtherCycles)
+	if total == 0 {
+		return 0, 0, 0, 0
+	}
+	return float64(r.ReadCycles) / total, float64(r.CommitCycles) / total,
+		float64(r.AbortCycles) / total, float64(r.OtherCycles) / total
+}

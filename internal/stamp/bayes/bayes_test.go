@@ -1,0 +1,93 @@
+package bayes
+
+import (
+	"testing"
+
+	"github.com/ssrg-vt/rinval/internal/stamp"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+func smallConfig() Config {
+	return Config{Vars: 8, Records: 200, Proposals: 48, MaxParents: 2, Seed: 9}
+}
+
+func TestScoreFindsPlantedDependency(t *testing.T) {
+	b := New(smallConfig())
+	// Adjacent chain variables are strongly dependent; distant ones barely.
+	strong := b.score(0, 1)
+	if strong < 0.05 {
+		t.Fatalf("adjacent score %v too low", strong)
+	}
+	self := b.score(3, 3)
+	if self < strong {
+		t.Logf("self MI %v (diagonal), strong %v", self, strong)
+	}
+}
+
+func TestBayesSingleThread(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	b := New(smallConfig())
+	if _, err := stamp.Run(sys, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b.edges.Peek() == 0 {
+		t.Fatal("no edges learned")
+	}
+}
+
+func TestBayesAllEnginesConcurrent(t *testing.T) {
+	for _, algo := range stm.Algos {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			sys := stm.MustNew(stm.Config{Algo: algo, MaxThreads: 8, InvalServers: 2})
+			defer sys.Close()
+			if _, err := stamp.Run(sys, New(smallConfig()), 4); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBayesRespectsMaxParents(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxParents = 1
+	cfg.Proposals = 200
+	sys := stm.MustNew(stm.Config{Algo: stm.RInvalV2, MaxThreads: 8, InvalServers: 2})
+	defer sys.Close()
+	b := New(cfg)
+	if _, err := stamp.Run(sys, b, 4); err != nil {
+		t.Fatal(err)
+	}
+	for v := range b.parents {
+		if len(b.parents[v].Peek()) > 1 {
+			t.Fatalf("node %d exceeded MaxParents", v)
+		}
+	}
+}
+
+func TestBayesBadConfig(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	if _, err := stamp.Run(sys, New(Config{Vars: 1, Records: 10, Proposals: 1, MaxParents: 1, Seed: 1}), 1); err == nil {
+		t.Fatal("single-variable config accepted")
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	b := New(smallConfig())
+	if _, err := stamp.Run(sys, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Manufacture a cycle quiescently: 0 -> 1 and 1 -> 0.
+	p0 := b.parents[0].Peek()
+	p1 := b.parents[1].Peek()
+	b.parents[0].Set(append(append([]int(nil), p0...), 1))
+	b.parents[1].Set(append(append([]int(nil), p1...), 0))
+	b.edges.Set(b.edges.Peek() + 2)
+	if err := b.Validate(); err == nil {
+		t.Fatal("validation missed cycle")
+	}
+}

@@ -1,0 +1,36 @@
+package stamp_test
+
+import (
+	"testing"
+
+	"github.com/ssrg-vt/rinval/internal/bench"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// benchApp runs one STAMP app per iteration at small scale under the given
+// engine — per-application microbenchmarks complementing the root-level
+// figure benchmarks.
+func benchApp(b *testing.B, app string, algo stm.Algo) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		row, err := bench.RunSTAMP(algo, app, 2, bench.ScaleSmall, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(row.KTxPerSec, "ktx/s")
+		}
+	}
+}
+
+func BenchmarkKmeansNOrec(b *testing.B)      { benchApp(b, "kmeans", stm.NOrec) }
+func BenchmarkKmeansRInvalV2(b *testing.B)   { benchApp(b, "kmeans", stm.RInvalV2) }
+func BenchmarkSsca2NOrec(b *testing.B)       { benchApp(b, "ssca2", stm.NOrec) }
+func BenchmarkSsca2RInvalV2(b *testing.B)    { benchApp(b, "ssca2", stm.RInvalV2) }
+func BenchmarkLabyrinthNOrec(b *testing.B)   { benchApp(b, "labyrinth", stm.NOrec) }
+func BenchmarkIntruderNOrec(b *testing.B)    { benchApp(b, "intruder", stm.NOrec) }
+func BenchmarkGenomeNOrec(b *testing.B)      { benchApp(b, "genome", stm.NOrec) }
+func BenchmarkGenomeRInvalV2(b *testing.B)   { benchApp(b, "genome", stm.RInvalV2) }
+func BenchmarkVacationNOrec(b *testing.B)    { benchApp(b, "vacation", stm.NOrec) }
+func BenchmarkVacationInvalSTM(b *testing.B) { benchApp(b, "vacation", stm.InvalSTM) }
+func BenchmarkBayesNOrec(b *testing.B)       { benchApp(b, "bayes", stm.NOrec) }

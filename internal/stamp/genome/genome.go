@@ -1,0 +1,181 @@
+// Package genome ports STAMP's genome: gene sequencing from overlapping
+// segments. Phase 1 deduplicates the segment pool through a shared
+// transactional hash set; phase 2 matches segments by maximal overlap,
+// linking each segment to its unique successor, from which the original gene
+// is reconstructed. Both phases are read-dominated (lookups vastly outnumber
+// insertions), which is why the paper finds validation-based NOrec ahead of
+// all invalidation algorithms here and why aborts (doomed readers re-running
+// their whole read set) dominate InvalSTM's time (Figures 3 and 8e).
+package genome
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/ssrg-vt/rinval/container/ds"
+	"github.com/ssrg-vt/rinval/internal/stamp"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// Config sizes the workload.
+type Config struct {
+	GeneLength int    // nucleotides in the hidden gene
+	SegmentLen int    // window length
+	Copies     int    // duplicate factor for the segment pool
+	Seed       uint64 // input generation seed
+}
+
+// DefaultConfig is a laptop-scale instance.
+func DefaultConfig() Config {
+	return Config{GeneLength: 512, SegmentLen: 16, Copies: 3, Seed: 1}
+}
+
+// Bench is one genome instance. Single-use.
+type Bench struct {
+	cfg  Config
+	gene string
+	pool []string // shuffled segment pool with duplicates
+
+	unique *ds.Map[string, bool]   // phase 1: dedup set
+	starts *ds.Map[string, string] // phase 2: (L-1)-prefix -> segment
+	next   *ds.Map[string, string] // phase 2: segment -> successor segment
+	phase  *stamp.Barrier
+	once   sync.Once // builds the barrier from the first worker's count
+}
+
+// New generates a gene whose (SegmentLen-1)-grams are unique — retrying
+// deterministically until that holds — then derives the duplicated, shuffled
+// segment pool of every sliding window.
+func New(cfg Config) *Bench {
+	b := &Bench{cfg: cfg}
+	alphabet := "acgt"
+	for attempt := uint64(0); ; attempt++ {
+		r := stamp.NewRand(cfg.Seed+attempt, 0x6e0)
+		var sb strings.Builder
+		for i := 0; i < cfg.GeneLength; i++ {
+			sb.WriteByte(alphabet[r.Intn(4)])
+		}
+		gene := sb.String()
+		if uniqueGrams(gene, cfg.SegmentLen-1) {
+			b.gene = gene
+			break
+		}
+	}
+	r := stamp.NewRand(cfg.Seed, 0x6e1)
+	for c := 0; c < cfg.Copies; c++ {
+		for i := 0; i+cfg.SegmentLen <= len(b.gene); i++ {
+			b.pool = append(b.pool, b.gene[i:i+cfg.SegmentLen])
+		}
+	}
+	stamp.Shuffle(r, b.pool)
+	return b
+}
+
+// uniqueGrams reports whether every k-gram of s occurs exactly once.
+func uniqueGrams(s string, k int) bool {
+	seen := map[string]bool{}
+	for i := 0; i+k <= len(s); i++ {
+		g := s[i : i+k]
+		if seen[g] {
+			return false
+		}
+		seen[g] = true
+	}
+	return true
+}
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string { return "genome" }
+
+// Init allocates the shared tables.
+func (b *Bench) Init(th *stm.Thread) error {
+	if b.cfg.SegmentLen < 2 || b.cfg.GeneLength < b.cfg.SegmentLen {
+		return fmt.Errorf("genome: bad segment/gene lengths")
+	}
+	b.unique = ds.NewMap[string, bool](128, ds.HashString)
+	b.starts = ds.NewMap[string, string](128, ds.HashString)
+	b.next = ds.NewMap[string, string](128, ds.HashString)
+	return nil
+}
+
+// Worker runs the two phases, separated by a barrier.
+func (b *Bench) Worker(th *stm.Thread, id, n int) error {
+	// Workload.Init does not know the worker count, so the first worker to
+	// arrive builds the phase barrier.
+	b.once.Do(func() { b.phase = stamp.NewBarrier(n) })
+
+	// Phase 1: deduplicate my slice of the pool.
+	chunk := (len(b.pool) + n - 1) / n
+	lo := min(id*chunk, len(b.pool))
+	hi := min(lo+chunk, len(b.pool))
+	for _, seg := range b.pool[lo:hi] {
+		seg := seg
+		if err := th.Atomically(func(tx *stm.Tx) error {
+			// Read-dominated: most segments are already present.
+			if !b.unique.Contains(tx, seg) {
+				b.unique.Put(tx, seg, true)
+				b.starts.Put(tx, seg[:len(seg)-1], seg)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	b.phase.Await(nil)
+
+	// Phase 2: link each unique segment to its successor by (L-1)-overlap.
+	// Partition the unique segments by hash of the segment string.
+	var uniques []string
+	b.unique.ForEachQuiescent(func(k string, _ bool) {
+		if int(ds.HashString(k)%uint64(n)) == id {
+			uniques = append(uniques, k)
+		}
+	})
+	for _, seg := range uniques {
+		seg := seg
+		if err := th.Atomically(func(tx *stm.Tx) error {
+			succ, ok := b.starts.Get(tx, seg[1:]) // suffix == successor prefix
+			if ok {
+				b.next.Put(tx, seg, succ)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	b.phase.Await(nil)
+	return nil
+}
+
+// Validate walks the successor chain from the gene's first segment and
+// compares the reconstruction against the hidden gene, and checks the dedup
+// set is exactly the distinct window set.
+func (b *Bench) Validate() error {
+	L := b.cfg.SegmentLen
+	wantUnique := len(b.gene) - L + 1
+	gotUnique := 0
+	b.unique.ForEachQuiescent(func(string, bool) { gotUnique++ })
+	if gotUnique != wantUnique {
+		return fmt.Errorf("genome: %d unique segments, want %d", gotUnique, wantUnique)
+	}
+	// Reconstruct.
+	nextMap := map[string]string{}
+	b.next.ForEachQuiescent(func(k, v string) { nextMap[k] = v })
+	cur := b.gene[:L]
+	var sb strings.Builder
+	sb.WriteString(cur)
+	for i := 0; i < wantUnique-1; i++ {
+		succ, ok := nextMap[cur]
+		if !ok {
+			return fmt.Errorf("genome: chain broken after %d segments", i)
+		}
+		sb.WriteByte(succ[L-1])
+		cur = succ
+	}
+	if sb.String() != b.gene {
+		return fmt.Errorf("genome: reconstruction mismatch")
+	}
+	return nil
+}

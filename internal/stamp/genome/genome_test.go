@@ -1,0 +1,90 @@
+package genome
+
+import (
+	"testing"
+
+	"github.com/ssrg-vt/rinval/internal/stamp"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+func smallConfig() Config {
+	return Config{GeneLength: 160, SegmentLen: 12, Copies: 2, Seed: 3}
+}
+
+func TestGenerationUniqueGrams(t *testing.T) {
+	b := New(smallConfig())
+	if len(b.gene) != 160 {
+		t.Fatalf("gene length %d", len(b.gene))
+	}
+	if !uniqueGrams(b.gene, smallConfig().SegmentLen-1) {
+		t.Fatal("generated gene has duplicate (L-1)-grams")
+	}
+	wantPool := (160 - 12 + 1) * 2
+	if len(b.pool) != wantPool {
+		t.Fatalf("pool %d want %d", len(b.pool), wantPool)
+	}
+}
+
+func TestUniqueGrams(t *testing.T) {
+	if !uniqueGrams("abcdef", 3) {
+		t.Fatal("abcdef should have unique 3-grams")
+	}
+	if uniqueGrams("abcabc", 3) {
+		t.Fatal("abcabc has duplicate 3-grams")
+	}
+}
+
+func TestGenomeSingleThread(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	if _, err := stamp.Run(sys, New(smallConfig()), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenomeAllEnginesConcurrent(t *testing.T) {
+	for _, algo := range stm.Algos {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			sys := stm.MustNew(stm.Config{Algo: algo, MaxThreads: 8, InvalServers: 2})
+			defer sys.Close()
+			if _, err := stamp.Run(sys, New(smallConfig()), 4); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestGenomeBadConfig(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	b := &Bench{cfg: Config{GeneLength: 4, SegmentLen: 8, Copies: 1, Seed: 1}}
+	if _, err := stamp.Run(sys, b, 1); err == nil {
+		t.Fatal("segment longer than gene accepted")
+	}
+}
+
+func TestGenomeReconstructionDetectsCorruption(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	b := New(smallConfig())
+	if _, err := stamp.Run(sys, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Break one successor link; Validate must notice.
+	var someKey string
+	b.next.ForEachQuiescent(func(k, v string) {
+		if someKey == "" {
+			someKey = k
+		}
+	})
+	th := sys.MustRegister()
+	defer th.Close()
+	_ = th.Atomically(func(tx *stm.Tx) error {
+		b.next.Delete(tx, someKey)
+		return nil
+	})
+	if err := b.Validate(); err == nil {
+		t.Fatal("validation missed broken chain")
+	}
+}

@@ -1,0 +1,205 @@
+// Package intruder ports STAMP's intruder: network intrusion detection over
+// fragmented flows. Workers transactionally pop packets from a shared
+// capture queue, assemble fragments in a shared session map, and — once a
+// flow completes — scan the reassembled payload for attack signatures
+// (non-transactional) and record detections. The mix of a hot queue, a
+// medium-contention map, and modest non-transactional work gives intruder
+// its commit-heavy profile (paper Figures 3 and 8d).
+package intruder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ssrg-vt/rinval/container/ds"
+	"github.com/ssrg-vt/rinval/internal/stamp"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// Config sizes the workload.
+type Config struct {
+	Flows      int    // number of sessions
+	Fragments  int    // fragments per flow
+	PayloadLen int    // bytes per fragment
+	AttackPct  int    // percentage of flows carrying the signature
+	Seed       uint64 // input generation seed
+}
+
+// DefaultConfig is a laptop-scale instance.
+func DefaultConfig() Config {
+	return Config{Flows: 96, Fragments: 4, PayloadLen: 16, AttackPct: 30, Seed: 1}
+}
+
+// signature is the attack marker injected into malicious flows.
+const signature = "ATTACK!"
+
+// packet is one captured fragment.
+type packet struct {
+	flow    int
+	index   int
+	total   int
+	payload string
+}
+
+// session accumulates a flow's fragments (immutable snapshots in the map).
+type session struct {
+	got      int
+	payloads []string // indexed by fragment number; "" = missing
+}
+
+// Bench is one intruder instance. Single-use.
+type Bench struct {
+	cfg     Config
+	packets []packet
+	attacks map[int]bool // ground truth
+
+	capture  *ds.Queue[packet]
+	sessions *ds.Map[int, session]
+	detected *ds.List // flow ids flagged as attacks
+	finished *stm.Var[int]
+}
+
+// New generates the shuffled packet capture deterministically.
+func New(cfg Config) *Bench {
+	r := stamp.NewRand(cfg.Seed, 0x1d7)
+	b := &Bench{cfg: cfg, attacks: map[int]bool{}}
+	letters := "abcdefghijklmnop"
+	for f := 0; f < cfg.Flows; f++ {
+		attack := r.Intn(100) < cfg.AttackPct
+		b.attacks[f] = attack
+		// Build the whole payload, then split into fragments.
+		var sb strings.Builder
+		for sb.Len() < cfg.Fragments*cfg.PayloadLen {
+			sb.WriteByte(letters[r.Intn(len(letters))])
+		}
+		payload := sb.String()[:cfg.Fragments*cfg.PayloadLen]
+		if attack && len(payload) > len(signature) {
+			// Inject the signature across a fragment boundary when possible,
+			// so detection requires reassembly. (Too-short payloads are
+			// rejected by Init; generation itself must not panic on them.)
+			pos := r.Intn(len(payload) - len(signature))
+			payload = payload[:pos] + signature + payload[pos+len(signature):]
+		}
+		for i := 0; i < cfg.Fragments; i++ {
+			b.packets = append(b.packets, packet{
+				flow:    f,
+				index:   i,
+				total:   cfg.Fragments,
+				payload: payload[i*cfg.PayloadLen : (i+1)*cfg.PayloadLen],
+			})
+		}
+	}
+	stamp.Shuffle(r, b.packets)
+	return b
+}
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string { return "intruder" }
+
+// Init fills the capture queue.
+func (b *Bench) Init(th *stm.Thread) error {
+	if b.cfg.PayloadLen*b.cfg.Fragments <= len(signature) {
+		return fmt.Errorf("intruder: payload too short for signature")
+	}
+	b.capture = ds.NewQueue[packet]()
+	b.sessions = ds.NewMap[int, session](64, ds.HashInt)
+	b.detected = ds.NewList()
+	b.finished = stm.NewVar(0)
+	return th.Atomically(func(tx *stm.Tx) error {
+		for _, p := range b.packets {
+			b.capture.Enqueue(tx, p)
+		}
+		return nil
+	})
+}
+
+// Worker processes packets until the capture queue drains.
+func (b *Bench) Worker(th *stm.Thread, id, n int) error {
+	for {
+		var p packet
+		var ok bool
+		// Tx 1: capture.
+		if err := th.Atomically(func(tx *stm.Tx) error {
+			p, ok = b.capture.Dequeue(tx)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		// Tx 2: reassembly step; returns the full payload when complete.
+		var complete string
+		if err := th.Atomically(func(tx *stm.Tx) error {
+			complete = ""
+			s, exists := b.sessions.Get(tx, p.flow)
+			if !exists {
+				s = session{payloads: make([]string, p.total)}
+			} else {
+				// Copy-on-write: never mutate a stored snapshot.
+				cp := make([]string, len(s.payloads))
+				copy(cp, s.payloads)
+				s = session{got: s.got, payloads: cp}
+			}
+			if s.payloads[p.index] != "" {
+				return fmt.Errorf("intruder: duplicate fragment %d of flow %d", p.index, p.flow)
+			}
+			s.payloads[p.index] = p.payload
+			s.got++
+			if s.got == p.total {
+				b.sessions.Delete(tx, p.flow)
+				complete = strings.Join(s.payloads, "")
+			} else {
+				b.sessions.Put(tx, p.flow, s)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if complete == "" {
+			continue
+		}
+		// Non-transactional: signature scan of the reassembled flow.
+		isAttack := strings.Contains(complete, signature)
+		// Tx 3: record the outcome.
+		if err := th.Atomically(func(tx *stm.Tx) error {
+			if isAttack {
+				b.detected.Insert(tx, p.flow, 1)
+			}
+			b.finished.Store(tx, b.finished.Load(tx)+1)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+}
+
+// Validate compares detections against the generation-time ground truth.
+func (b *Bench) Validate() error {
+	if got := b.finished.Peek(); got != b.cfg.Flows {
+		return fmt.Errorf("intruder: %d flows finished, want %d", got, b.cfg.Flows)
+	}
+	leftover := 0
+	b.sessions.ForEachQuiescent(func(int, session) { leftover++ })
+	if leftover != 0 {
+		return fmt.Errorf("intruder: %d incomplete sessions left", leftover)
+	}
+	got := b.detected.KeysQuiescent()
+	var want []int
+	for f, a := range b.attacks {
+		if a {
+			want = append(want, f)
+		}
+	}
+	sort.Ints(want)
+	if len(got) != len(want) {
+		return fmt.Errorf("intruder: detected %d attacks, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("intruder: detection mismatch at %d: %d != %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package intruder
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ssrg-vt/rinval/internal/stamp"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+func smallConfig() Config {
+	return Config{Flows: 30, Fragments: 3, PayloadLen: 8, AttackPct: 40, Seed: 11}
+}
+
+func TestGenerationGroundTruth(t *testing.T) {
+	b := New(smallConfig())
+	if len(b.packets) != 30*3 {
+		t.Fatalf("%d packets", len(b.packets))
+	}
+	// Reassemble offline and compare against the ground truth map.
+	flows := map[int][]string{}
+	for _, p := range b.packets {
+		if flows[p.flow] == nil {
+			flows[p.flow] = make([]string, p.total)
+		}
+		flows[p.flow][p.index] = p.payload
+	}
+	for f, parts := range flows {
+		full := strings.Join(parts, "")
+		if strings.Contains(full, signature) != b.attacks[f] {
+			t.Fatalf("flow %d ground truth mismatch", f)
+		}
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	a, b := New(smallConfig()), New(smallConfig())
+	for i := range a.packets {
+		if a.packets[i] != b.packets[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestIntruderSingleThread(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	if _, err := stamp.Run(sys, New(smallConfig()), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntruderAllEnginesConcurrent(t *testing.T) {
+	for _, algo := range stm.Algos {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			sys := stm.MustNew(stm.Config{Algo: algo, MaxThreads: 8, InvalServers: 2})
+			defer sys.Close()
+			if _, err := stamp.Run(sys, New(smallConfig()), 4); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestIntruderNoAttacks(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AttackPct = 0
+	sys := stm.MustNew(stm.Config{Algo: stm.RInvalV1, MaxThreads: 4})
+	defer sys.Close()
+	b := New(cfg)
+	if _, err := stamp.Run(sys, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.detected.KeysQuiescent(); len(got) != 0 {
+		t.Fatalf("false positives: %v", got)
+	}
+}
+
+func TestIntruderAllAttacks(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AttackPct = 100
+	sys := stm.MustNew(stm.Config{Algo: stm.RInvalV3, MaxThreads: 4, InvalServers: 2})
+	defer sys.Close()
+	b := New(cfg)
+	if _, err := stamp.Run(sys, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.detected.KeysQuiescent(); len(got) != cfg.Flows {
+		t.Fatalf("detected %d of %d", len(got), cfg.Flows)
+	}
+}
+
+func TestIntruderBadConfig(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	cfg := Config{Flows: 2, Fragments: 1, PayloadLen: 4, AttackPct: 0, Seed: 1}
+	if _, err := stamp.Run(sys, New(cfg), 1); err == nil {
+		t.Fatal("payload shorter than signature accepted")
+	}
+}

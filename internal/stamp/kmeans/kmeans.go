@@ -1,0 +1,233 @@
+// Package kmeans ports STAMP's kmeans: iterative K-means clustering where
+// point-to-centroid assignment is parallel, non-transactional floating-point
+// work and the per-cluster accumulator updates are short, high-contention
+// transactions. In the paper's characterization (Figure 3) kmeans spends a
+// large fraction of its time in commit, which is why InvalSTM's serialized
+// commit+invalidation hurts it and RInval recovers the loss (Figure 8a).
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/ssrg-vt/rinval/internal/stamp"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// Config sizes the workload.
+type Config struct {
+	Points     int    // number of input points
+	Dims       int    // dimensionality
+	Clusters   int    // K
+	Iterations int    // fixed iteration count (STAMP uses a convergence bound)
+	Seed       uint64 // input generation seed
+}
+
+// DefaultConfig is a laptop-scale instance preserving STAMP's shape
+// (many points, few clusters => contended accumulators).
+func DefaultConfig() Config {
+	return Config{Points: 1024, Dims: 8, Clusters: 8, Iterations: 3, Seed: 1}
+}
+
+// acc is one cluster's accumulator for the current iteration: immutable
+// snapshot semantics (transactions replace the whole value).
+type acc struct {
+	count int
+	sum   []float64
+}
+
+// Bench is one kmeans instance. Single-use.
+type Bench struct {
+	cfg     Config
+	points  [][]float64
+	trueCtr [][]float64 // generation centers, for validation bounds
+
+	centers [][]float64     // read non-transactionally; rewritten at barriers
+	accs    []*stm.Var[acc] // transactional accumulators
+	barrier *stamp.Barrier
+	once    sync.Once
+
+	lo, hi float64 // data bounding box for validation
+}
+
+// New generates the input deterministically from cfg.
+func New(cfg Config) *Bench {
+	r := stamp.NewRand(cfg.Seed, 0xbeef)
+	b := &Bench{cfg: cfg, lo: math.Inf(1), hi: math.Inf(-1)}
+	b.trueCtr = make([][]float64, cfg.Clusters)
+	for c := range b.trueCtr {
+		ctr := make([]float64, cfg.Dims)
+		for d := range ctr {
+			ctr[d] = 10 * r.Float64() * float64(c+1)
+		}
+		b.trueCtr[c] = ctr
+	}
+	b.points = make([][]float64, cfg.Points)
+	for i := range b.points {
+		c := b.trueCtr[r.Intn(cfg.Clusters)]
+		p := make([]float64, cfg.Dims)
+		for d := range p {
+			p[d] = c[d] + (r.Float64() - 0.5) // tight noise: stable assignment
+			b.lo = math.Min(b.lo, p[d])
+			b.hi = math.Max(b.hi, p[d])
+		}
+		b.points[i] = p
+	}
+	return b
+}
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string { return "kmeans" }
+
+// Init seeds the centers with the first K points (standard Forgy start) and
+// creates the accumulators.
+func (b *Bench) Init(th *stm.Thread) error {
+	if b.cfg.Clusters > b.cfg.Points {
+		return fmt.Errorf("kmeans: more clusters than points")
+	}
+	b.centers = make([][]float64, b.cfg.Clusters)
+	for c := range b.centers {
+		b.centers[c] = append([]float64(nil), b.points[c]...)
+	}
+	b.accs = make([]*stm.Var[acc], b.cfg.Clusters)
+	for c := range b.accs {
+		b.accs[c] = stm.NewVar(acc{sum: make([]float64, b.cfg.Dims)})
+	}
+	return nil
+}
+
+// nearest returns the index of the center closest to p (squared distance).
+func (b *Bench) nearest(p []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, ctr := range b.centers {
+		d := 0.0
+		for i := range p {
+			diff := p[i] - ctr[i]
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Worker implements stamp.Workload: each iteration, assign my chunk of
+// points (non-transactional math), fold each point into its cluster's
+// accumulator (one short transaction per point), then synchronize; the last
+// arriver recomputes the centers quiescently.
+func (b *Bench) Worker(th *stm.Thread, id, n int) error {
+	b.once.Do(func() { b.barrier = stamp.NewBarrier(n) })
+	chunk := (len(b.points) + n - 1) / n
+	lo := min(id*chunk, len(b.points))
+	hi := min(lo+chunk, len(b.points))
+
+	for iter := 0; iter < b.cfg.Iterations; iter++ {
+		for _, p := range b.points[lo:hi] {
+			c := b.nearest(p) // non-transactional work
+			av := b.accs[c]
+			if err := th.Atomically(func(tx *stm.Tx) error {
+				cur := av.Load(tx)
+				next := acc{count: cur.count + 1, sum: make([]float64, len(cur.sum))}
+				for d := range cur.sum {
+					next.sum[d] = cur.sum[d] + p[d]
+				}
+				av.Store(tx, next)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		last := iter == b.cfg.Iterations-1
+		b.barrier.Await(func() {
+			// All workers are blocked here: quiescent center update.
+			for c, av := range b.accs {
+				a := av.Peek()
+				if a.count > 0 {
+					ctr := make([]float64, b.cfg.Dims)
+					for d := range ctr {
+						ctr[d] = a.sum[d] / float64(a.count)
+					}
+					b.centers[c] = ctr
+				}
+				if !last {
+					av.Set(acc{sum: make([]float64, b.cfg.Dims)})
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// Validate checks that the final iteration's membership accounts for every
+// point exactly once and that every centroid lies inside the data bounding
+// box, and cross-checks the result against a sequential reference run.
+func (b *Bench) Validate() error {
+	total := 0
+	for _, av := range b.accs {
+		total += av.Peek().count
+	}
+	if total != b.cfg.Points {
+		return fmt.Errorf("kmeans: final membership %d != %d points", total, b.cfg.Points)
+	}
+	for c, ctr := range b.centers {
+		for d, v := range ctr {
+			if math.IsNaN(v) || v < b.lo-1e-9 || v > b.hi+1e-9 {
+				return fmt.Errorf("kmeans: center %d dim %d = %v outside data range [%v,%v]", c, d, v, b.lo, b.hi)
+			}
+		}
+	}
+	ref := b.sequentialReference()
+	for c := range ref {
+		for d := range ref[c] {
+			if diff := math.Abs(ref[c][d] - b.centers[c][d]); diff > 1e-6 {
+				return fmt.Errorf("kmeans: center %d dim %d diverges from sequential reference by %v", c, d, diff)
+			}
+		}
+	}
+	return nil
+}
+
+// sequentialReference recomputes the same fixed-iteration Lloyd's algorithm
+// without any STM involvement.
+func (b *Bench) sequentialReference() [][]float64 {
+	centers := make([][]float64, b.cfg.Clusters)
+	for c := range centers {
+		centers[c] = append([]float64(nil), b.points[c]...)
+	}
+	for iter := 0; iter < b.cfg.Iterations; iter++ {
+		counts := make([]int, b.cfg.Clusters)
+		sums := make([][]float64, b.cfg.Clusters)
+		for c := range sums {
+			sums[c] = make([]float64, b.cfg.Dims)
+		}
+		for _, p := range b.points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				d := 0.0
+				for i := range p {
+					diff := p[i] - ctr[i]
+					d += diff * diff
+				}
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			counts[best]++
+			for i := range p {
+				sums[best][i] += p[i]
+			}
+		}
+		for c := range centers {
+			if counts[c] > 0 {
+				ctr := make([]float64, b.cfg.Dims)
+				for d := range ctr {
+					ctr[d] = sums[c][d] / float64(counts[c])
+				}
+				centers[c] = ctr
+			}
+		}
+	}
+	return centers
+}

@@ -1,0 +1,79 @@
+package kmeans
+
+import (
+	"testing"
+
+	"github.com/ssrg-vt/rinval/internal/stamp"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+func smallConfig() Config {
+	return Config{Points: 240, Dims: 4, Clusters: 5, Iterations: 3, Seed: 7}
+}
+
+func TestSequentialReferenceDeterministic(t *testing.T) {
+	a := New(smallConfig()).sequentialReference()
+	b := New(smallConfig()).sequentialReference()
+	for c := range a {
+		for d := range a[c] {
+			if a[c][d] != b[c][d] {
+				t.Fatal("reference not deterministic")
+			}
+		}
+	}
+}
+
+func TestKmeansSingleThread(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	res, err := stamp.Run(sys, New(smallConfig()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != "kmeans" || res.Stats.Commits == 0 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestKmeansAllEnginesConcurrent(t *testing.T) {
+	for _, algo := range stm.Algos {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			sys := stm.MustNew(stm.Config{Algo: algo, MaxThreads: 8, InvalServers: 2})
+			defer sys.Close()
+			if _, err := stamp.Run(sys, New(smallConfig()), 4); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestKmeansUnevenChunks(t *testing.T) {
+	// Points not divisible by workers: the last chunk is short; every point
+	// must still be clustered exactly once (Validate checks membership).
+	cfg := smallConfig()
+	cfg.Points = 241
+	sys := stm.MustNew(stm.Config{Algo: stm.RInvalV2, MaxThreads: 8, InvalServers: 2})
+	defer sys.Close()
+	if _, err := stamp.Run(sys, New(cfg), 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKmeansMoreWorkersThanPoints(t *testing.T) {
+	cfg := Config{Points: 6, Dims: 2, Clusters: 2, Iterations: 2, Seed: 3}
+	sys := stm.MustNew(stm.Config{Algo: stm.InvalSTM, MaxThreads: 12})
+	defer sys.Close()
+	if _, err := stamp.Run(sys, New(cfg), 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKmeansRejectsBadConfig(t *testing.T) {
+	cfg := Config{Points: 2, Dims: 2, Clusters: 5, Iterations: 1, Seed: 1}
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	if _, err := stamp.Run(sys, New(cfg), 1); err == nil {
+		t.Fatal("clusters > points accepted")
+	}
+}

@@ -1,0 +1,264 @@
+// Package labyrinth ports STAMP's labyrinth: maze routing in a 2-D grid.
+// Each transaction claims a whole shortest path between a source and a
+// destination: it reads a snapshot of the grid (large read set), runs a BFS
+// over the snapshot (long computation inside the transaction — the dominant
+// "other"/non-commit time in the paper's Figure 3), and writes ownership of
+// every path cell. Conflicts arise only when two concurrent routes cross.
+// Because transactional work is a small fraction of total time, all STM
+// algorithms perform about the same here — the paper's Figure 8(c).
+package labyrinth
+
+import (
+	"fmt"
+
+	"github.com/ssrg-vt/rinval/container/ds"
+	"github.com/ssrg-vt/rinval/internal/stamp"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// Config sizes the workload.
+type Config struct {
+	Width, Height int
+	Paths         int    // routing tasks
+	MaxLen        int    // max manhattan distance between endpoints
+	Seed          uint64 // input generation seed
+}
+
+// DefaultConfig is a laptop-scale instance.
+func DefaultConfig() Config {
+	return Config{Width: 24, Height: 24, Paths: 24, MaxLen: 16, Seed: 1}
+}
+
+// task is one routing request.
+type task struct {
+	id              int
+	sx, sy, tx2, ty int
+}
+
+// Bench is one labyrinth instance. Single-use.
+type Bench struct {
+	cfg   Config
+	tasks []task
+
+	grid  []*stm.Var[int] // 0 = free, else owning path id
+	queue *ds.Queue[task]
+	done  *stm.Var[int] // routed count
+	fail  *stm.Var[int] // unroutable count
+}
+
+// New generates routing tasks with distinct endpoints.
+func New(cfg Config) *Bench {
+	r := stamp.NewRand(cfg.Seed, 0x1ab1)
+	b := &Bench{cfg: cfg}
+	used := map[int]bool{}
+	pick := func() (int, int) {
+		for {
+			x, y := r.Intn(cfg.Width), r.Intn(cfg.Height)
+			if !used[y*cfg.Width+x] {
+				used[y*cfg.Width+x] = true
+				return x, y
+			}
+		}
+	}
+	for i := 0; i < cfg.Paths; i++ {
+		if len(used)+2 > cfg.Width*cfg.Height {
+			// Grid exhausted: stop generating. Init rejects such configs,
+			// but generation itself must terminate.
+			break
+		}
+		sx, sy := pick()
+		var tx, ty int
+		for try := 0; ; try++ {
+			tx, ty = pick()
+			// Accept any endpoint after enough rejections so generation
+			// terminates even on congested grids.
+			if abs(tx-sx)+abs(ty-sy) <= cfg.MaxLen || try > 1000 {
+				break
+			}
+			used[ty*cfg.Width+tx] = false
+		}
+		b.tasks = append(b.tasks, task{id: i + 1, sx: sx, sy: sy, tx2: tx, ty: ty})
+	}
+	return b
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string { return "labyrinth" }
+
+// Init builds the empty grid and fills the task queue.
+func (b *Bench) Init(th *stm.Thread) error {
+	if b.cfg.Width*b.cfg.Height < 2*b.cfg.Paths {
+		return fmt.Errorf("labyrinth: grid too small for %d paths", b.cfg.Paths)
+	}
+	b.grid = make([]*stm.Var[int], b.cfg.Width*b.cfg.Height)
+	for i := range b.grid {
+		b.grid[i] = stm.NewVar(0)
+	}
+	b.queue = ds.NewQueue[task]()
+	b.done = stm.NewVar(0)
+	b.fail = stm.NewVar(0)
+	return th.Atomically(func(tx *stm.Tx) error {
+		for _, t := range b.tasks {
+			b.queue.Enqueue(tx, t)
+		}
+		return nil
+	})
+}
+
+// Worker pops tasks and routes them until the queue drains.
+func (b *Bench) Worker(th *stm.Thread, id, n int) error {
+	for {
+		var t task
+		var ok bool
+		if err := th.Atomically(func(tx *stm.Tx) error {
+			t, ok = b.queue.Dequeue(tx)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := b.route(th, t); err != nil {
+			return err
+		}
+	}
+}
+
+// route claims a shortest free path for t in one transaction: snapshot-read
+// the grid region, BFS over the snapshot, write ownership of the path cells.
+// If the snapshot changed under us the transaction retries automatically; if
+// no path exists in the current snapshot the task is counted as failed (as
+// STAMP does when the maze is congested).
+func (b *Bench) route(th *stm.Thread, t task) error {
+	w, h := b.cfg.Width, b.cfg.Height
+	return th.Atomically(func(tx *stm.Tx) error {
+		// Snapshot read: the whole grid enters the read set (big read set,
+		// like STAMP's grid copy step).
+		occ := make([]bool, w*h)
+		for i, cell := range b.grid {
+			occ[i] = cell.Load(tx) != 0
+		}
+		// BFS on the private snapshot — pure computation inside the tx.
+		const unseen = -1
+		prev := make([]int, w*h)
+		for i := range prev {
+			prev[i] = unseen
+		}
+		src := t.sy*w + t.sx
+		dst := t.ty*w + t.tx2
+		if occ[src] || occ[dst] {
+			// Another route ran through one of our endpoints: unroutable.
+			b.fail.Store(tx, b.fail.Load(tx)+1)
+			return nil
+		}
+		prev[src] = src
+		frontier := []int{src}
+		found := false
+		for len(frontier) > 0 && !found {
+			var next []int
+			for _, c := range frontier {
+				cx, cy := c%w, c/w
+				for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nx, ny := cx+d[0], cy+d[1]
+					if nx < 0 || ny < 0 || nx >= w || ny >= h {
+						continue
+					}
+					nc := ny*w + nx
+					if prev[nc] != unseen || (occ[nc] && nc != dst) {
+						continue
+					}
+					prev[nc] = c
+					if nc == dst {
+						found = true
+						break
+					}
+					next = append(next, nc)
+				}
+			}
+			frontier = next
+		}
+		if !found || occ[dst] {
+			b.fail.Store(tx, b.fail.Load(tx)+1)
+			return nil
+		}
+		// Write-claim the path.
+		for c := dst; ; c = prev[c] {
+			b.grid[c].Store(tx, t.id)
+			if c == src {
+				break
+			}
+		}
+		b.done.Store(tx, b.done.Load(tx)+1)
+		return nil
+	})
+}
+
+// Validate rebuilds path ownership from the grid: every routed task's
+// endpoints must be owned by it and connected through its own cells; cells
+// owned by unknown ids are an error; done+fail must cover all tasks.
+func (b *Bench) Validate() error {
+	w, h := b.cfg.Width, b.cfg.Height
+	routed := b.done.Peek()
+	failed := b.fail.Peek()
+	if routed+failed != b.cfg.Paths {
+		return fmt.Errorf("labyrinth: routed %d + failed %d != %d tasks", routed, failed, b.cfg.Paths)
+	}
+	owner := make(map[int][]int)
+	for i, cell := range b.grid {
+		if id := cell.Peek(); id != 0 {
+			if id < 1 || id > b.cfg.Paths {
+				return fmt.Errorf("labyrinth: cell %d owned by unknown id %d", i, id)
+			}
+			owner[id] = append(owner[id], i)
+		}
+	}
+	if len(owner) != routed {
+		return fmt.Errorf("labyrinth: %d ids own cells, %d tasks routed", len(owner), routed)
+	}
+	for _, t := range b.tasks {
+		cells, ok := owner[t.id]
+		if !ok {
+			continue // failed task
+		}
+		set := map[int]bool{}
+		for _, c := range cells {
+			set[c] = true
+		}
+		src := t.sy*w + t.sx
+		dst := t.ty*w + t.tx2
+		if !set[src] || !set[dst] {
+			return fmt.Errorf("labyrinth: path %d does not own its endpoints", t.id)
+		}
+		// Connectivity over the task's own cells.
+		seen := map[int]bool{src: true}
+		stack := []int{src}
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			cx, cy := c%w, c/w
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := cx+d[0], cy+d[1]
+				if nx < 0 || ny < 0 || nx >= w || ny >= h {
+					continue
+				}
+				nc := ny*w + nx
+				if set[nc] && !seen[nc] {
+					seen[nc] = true
+					stack = append(stack, nc)
+				}
+			}
+		}
+		if !seen[dst] {
+			return fmt.Errorf("labyrinth: path %d endpoints not connected", t.id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package labyrinth
+
+import (
+	"testing"
+
+	"github.com/ssrg-vt/rinval/internal/stamp"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+func smallConfig() Config {
+	return Config{Width: 16, Height: 16, Paths: 10, MaxLen: 10, Seed: 5}
+}
+
+func TestGenerationDistinctEndpoints(t *testing.T) {
+	b := New(smallConfig())
+	if len(b.tasks) != 10 {
+		t.Fatalf("%d tasks", len(b.tasks))
+	}
+	seen := map[[2]int]bool{}
+	for _, tk := range b.tasks {
+		for _, pt := range [][2]int{{tk.sx, tk.sy}, {tk.tx2, tk.ty}} {
+			if seen[pt] {
+				t.Fatalf("endpoint %v reused", pt)
+			}
+			seen[pt] = true
+		}
+	}
+}
+
+func TestLabyrinthSingleThreadRoutesEverything(t *testing.T) {
+	// With one thread and a sparse grid every task should route.
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	b := New(Config{Width: 20, Height: 20, Paths: 4, MaxLen: 8, Seed: 2})
+	if _, err := stamp.Run(sys, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b.done.Peek() != 4 || b.fail.Peek() != 0 {
+		t.Fatalf("done=%d fail=%d", b.done.Peek(), b.fail.Peek())
+	}
+}
+
+func TestLabyrinthAllEnginesConcurrent(t *testing.T) {
+	for _, algo := range stm.Algos {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			sys := stm.MustNew(stm.Config{Algo: algo, MaxThreads: 8, InvalServers: 2})
+			defer sys.Close()
+			b := New(smallConfig())
+			if _, err := stamp.Run(sys, b, 4); err != nil {
+				t.Fatal(err)
+			}
+			// Congestion may fail some tasks; at least one must route on
+			// this sparse grid.
+			if b.done.Peek() == 0 {
+				t.Fatal("nothing routed")
+			}
+		})
+	}
+}
+
+func TestLabyrinthTooSmallGrid(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	b := New(Config{Width: 3, Height: 3, Paths: 8, MaxLen: 4, Seed: 1})
+	if _, err := stamp.Run(sys, b, 1); err == nil {
+		t.Fatal("oversubscribed grid accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	b := New(Config{Width: 20, Height: 20, Paths: 3, MaxLen: 8, Seed: 4})
+	if _, err := stamp.Run(sys, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: orphan cell owned by a bogus id.
+	b.grid[0].Set(999)
+	if err := b.Validate(); err == nil {
+		t.Fatal("validation missed bogus owner")
+	}
+}

@@ -1,0 +1,65 @@
+package ssca2
+
+import (
+	"testing"
+
+	"github.com/ssrg-vt/rinval/internal/stamp"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+func smallConfig() Config {
+	return Config{Vertices: 64, Edges: 600, MaxWeight: 5, Seed: 9}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	a, b := New(smallConfig()), New(smallConfig())
+	if len(a.edges) != len(b.edges) {
+		t.Fatal("edge counts differ")
+	}
+	for i := range a.edges {
+		if a.edges[i] != b.edges[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	for _, e := range a.edges {
+		if e.from < 0 || e.from >= 64 || e.to < 0 || e.to >= 64 {
+			t.Fatalf("edge endpoint out of range: %+v", e)
+		}
+		if e.weight < 1 || e.weight > 5 {
+			t.Fatalf("weight out of range: %+v", e)
+		}
+	}
+}
+
+func TestSsca2SingleThread(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	res, err := stamp.Run(sys, New(smallConfig()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Commits < 600 {
+		t.Fatalf("commits %d", res.Stats.Commits)
+	}
+}
+
+func TestSsca2AllEnginesConcurrent(t *testing.T) {
+	for _, algo := range stm.Algos {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			sys := stm.MustNew(stm.Config{Algo: algo, MaxThreads: 8, InvalServers: 2})
+			defer sys.Close()
+			if _, err := stamp.Run(sys, New(smallConfig()), 4); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSsca2BadConfig(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	if _, err := stamp.Run(sys, New(Config{Vertices: 0, Edges: 0, MaxWeight: 1, Seed: 1}), 1); err == nil {
+		t.Fatal("zero-vertex config accepted")
+	}
+}

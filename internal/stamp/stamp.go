@@ -1,0 +1,193 @@
+// Package stamp provides the shared infrastructure for the STAMP benchmark
+// ports (Minh et al., IISWC 2008) used in the paper's Figures 3 and 8:
+// deterministic pseudo-random generation, a cyclic barrier for phased
+// workloads, and a harness that runs a workload across N worker goroutines
+// on one stm.System and validates the result.
+//
+// The ports are self-contained Go reimplementations driving the same
+// transactional patterns as the C originals (transaction lengths, read/write
+// set shapes, contention, non-transactional fractions); inputs are generated
+// deterministically from a seed so every engine processes the identical
+// workload.
+package stamp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// Workload is one STAMP application instance: generated input plus the
+// transactional state it populates. A Workload is single-use — create a
+// fresh one per run.
+type Workload interface {
+	// Name returns the STAMP application name (e.g. "kmeans").
+	Name() string
+	// Init builds the initial shared state, running transactions on th.
+	Init(th *stm.Thread) error
+	// Worker executes worker id's share (of n workers total) to completion.
+	// It is called concurrently, once per worker, each with its own thread.
+	Worker(th *stm.Thread, id, n int) error
+	// Validate checks the final state quiescently, after all workers return.
+	Validate() error
+}
+
+// Result reports one workload execution.
+type Result struct {
+	App     string
+	Algo    string
+	Threads int
+	Elapsed time.Duration // Worker phase only (Init excluded), as in STAMP
+	Stats   stm.Stats
+}
+
+// Run initializes w, executes it on threads workers, validates, and reports.
+func Run(sys *stm.System, w Workload, threads int) (Result, error) {
+	res := Result{App: w.Name(), Algo: sys.Algo().String(), Threads: threads}
+	if threads < 1 {
+		return res, fmt.Errorf("stamp: threads %d < 1", threads)
+	}
+	initTh, err := sys.Register()
+	if err != nil {
+		return res, err
+	}
+	err = w.Init(initTh)
+	initTh.Close()
+	if err != nil {
+		return res, fmt.Errorf("stamp %s init: %w", w.Name(), err)
+	}
+
+	errs := make([]error, threads)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < threads; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th, err := sys.Register()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer th.Close()
+			errs[i] = w.Worker(th, i, threads)
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	for _, e := range errs {
+		if e != nil {
+			return res, fmt.Errorf("stamp %s worker: %w", w.Name(), e)
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return res, fmt.Errorf("stamp %s validate: %w", w.Name(), err)
+	}
+	res.Stats = sys.Stats()
+	return res, nil
+}
+
+// Rand is a deterministic SplitMix64 PRNG. Each worker derives its own
+// stream from (seed, worker id) so runs are reproducible regardless of
+// scheduling.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator for the given stream.
+func NewRand(seed, stream uint64) *Rand {
+	return &Rand{state: seed*0x9e3779b97f4a7c15 + stream*0xbf58476d1ce4e5b9 + 1}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("stamp: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes s in place.
+func Shuffle[T any](r *Rand, s []T) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Barrier is a reusable (cyclic) synchronization barrier for phased
+// workloads (kmeans iterations). It blocks goroutines on a condition
+// variable rather than spinning, so it is safe at GOMAXPROCS=1.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   uint64
+}
+
+// NewBarrier returns a barrier for the given number of parties.
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		panic("stamp: barrier parties < 1")
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until all parties have called Await for the current phase.
+// The last arriver first runs action (if non-nil) and only then releases the
+// others: while action runs, every other party is blocked, so action may
+// safely perform quiescent (non-transactional) maintenance of shared state —
+// kmeans uses this to recompute centroids between iterations. Await returns
+// true on exactly one participant per phase (the last arriver).
+func (b *Barrier) Await(action func()) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.parties {
+		if action != nil {
+			action()
+		}
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		return true
+	}
+	for b.phase == phase {
+		b.cond.Wait()
+	}
+	return false
+}

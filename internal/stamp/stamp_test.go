@@ -1,0 +1,188 @@
+package stamp
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a := NewRand(42, 0)
+	b := NewRand(42, 0)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(42, 1)
+	d := NewRand(43, 0)
+	a2 := NewRand(42, 0)
+	sawDiffStream, sawDiffSeed := false, false
+	for i := 0; i < 20; i++ {
+		v := a2.Uint64()
+		if v != c.Uint64() {
+			sawDiffStream = true
+		}
+		if v != d.Uint64() {
+			sawDiffSeed = true
+		}
+	}
+	if !sawDiffStream || !sawDiffSeed {
+		t.Fatal("streams/seeds not independent")
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(7, 7)
+	for i := 0; i < 1000; i++ {
+		n := 1 + i%17
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d", n, v)
+		}
+	}
+	f := r.Float64()
+	if f < 0 || f >= 1 {
+		t.Fatalf("Float64 = %v", f)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(1, 2)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad perm %v", p)
+		}
+		seen[v] = true
+	}
+	s := []string{"a", "b", "c", "d", "e"}
+	Shuffle(r, s)
+	if len(s) != 5 {
+		t.Fatal("shuffle changed length")
+	}
+}
+
+func TestBarrierPhases(t *testing.T) {
+	const parties, phases = 4, 10
+	b := NewBarrier(parties)
+	var counter atomic.Int64
+	var lastArriver atomic.Int64
+	var actionRuns atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ph := 0; ph < phases; ph++ {
+				counter.Add(1)
+				last := b.Await(func() {
+					actionRuns.Add(1)
+					// The action runs while every party is blocked: all
+					// parties have arrived for phase ph.
+					if got := counter.Load(); got != int64((ph+1)*parties) {
+						t.Errorf("phase %d: counter %d", ph, got)
+					}
+				})
+				if last {
+					lastArriver.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if lastArriver.Load() != phases || actionRuns.Load() != phases {
+		t.Fatalf("last-arriver %d, actions %d, want %d each",
+			lastArriver.Load(), actionRuns.Load(), phases)
+	}
+}
+
+func TestBarrierPanicsOnZeroParties(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+// fakeWorkload tracks harness behaviour.
+type fakeWorkload struct {
+	initCalls   atomic.Int64
+	workerCalls atomic.Int64
+	validated   atomic.Int64
+	failInit    bool
+	failWorker  bool
+	failValid   bool
+}
+
+func (f *fakeWorkload) Name() string { return "fake" }
+func (f *fakeWorkload) Init(th *stm.Thread) error {
+	f.initCalls.Add(1)
+	if f.failInit {
+		return errors.New("init boom")
+	}
+	return nil
+}
+func (f *fakeWorkload) Worker(th *stm.Thread, id, n int) error {
+	f.workerCalls.Add(1)
+	if f.failWorker && id == 1 {
+		return errors.New("worker boom")
+	}
+	v := stm.NewVar(0)
+	return th.Atomically(func(tx *stm.Tx) error {
+		v.Store(tx, id)
+		return nil
+	})
+}
+func (f *fakeWorkload) Validate() error {
+	f.validated.Add(1)
+	if f.failValid {
+		return errors.New("validate boom")
+	}
+	return nil
+}
+
+func TestRunHarness(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.RInvalV2, MaxThreads: 8, InvalServers: 2})
+	defer sys.Close()
+
+	w := &fakeWorkload{}
+	res, err := Run(sys, w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.initCalls.Load() != 1 || w.workerCalls.Load() != 3 || w.validated.Load() != 1 {
+		t.Fatalf("calls: init=%d worker=%d valid=%d",
+			w.initCalls.Load(), w.workerCalls.Load(), w.validated.Load())
+	}
+	if res.App != "fake" || res.Threads != 3 || res.Algo != "rinval-v2" {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Stats.Commits == 0 {
+		t.Fatal("stats not collected")
+	}
+
+	if _, err := Run(sys, &fakeWorkload{failInit: true}, 2); err == nil {
+		t.Fatal("init failure not propagated")
+	}
+	if _, err := Run(sys, &fakeWorkload{failWorker: true}, 2); err == nil {
+		t.Fatal("worker failure not propagated")
+	}
+	if _, err := Run(sys, &fakeWorkload{failValid: true}, 2); err == nil {
+		t.Fatal("validate failure not propagated")
+	}
+	if _, err := Run(sys, &fakeWorkload{}, 0); err == nil {
+		t.Fatal("threads=0 accepted")
+	}
+}

@@ -1,0 +1,257 @@
+// Package vacation ports STAMP's vacation: an in-memory travel reservation
+// database. Four relations (cars, flights, rooms keyed by item id, plus a
+// customer directory) are kept in transactional red-black trees; client
+// tasks run multi-step transactions — query a window of items across
+// relations, reserve the best-priced ones for a customer, occasionally
+// cancel a customer or update inventory. Transactions are read-mostly and
+// touch many tree nodes, which is why the paper's Figure 8(f) shows NOrec
+// ahead of the invalidation family here, with RInval closing most of the
+// gap relative to InvalSTM.
+package vacation
+
+import (
+	"fmt"
+
+	"github.com/ssrg-vt/rinval/container/ds"
+	"github.com/ssrg-vt/rinval/container/rbtree"
+	"github.com/ssrg-vt/rinval/internal/stamp"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// Relation identifiers.
+const (
+	relCar = iota
+	relFlight
+	relRoom
+	numRelations
+)
+
+// Config sizes the workload.
+type Config struct {
+	Items        int    // items per relation
+	InitialStock int    // units available per item
+	Customers    int    // customer directory size
+	Tasks        int    // total client tasks
+	QueryWindow  int    // items examined per reservation query
+	ReservePct   int    // % of tasks that are reservations (rest split between cancel/update)
+	Seed         uint64 // input generation seed
+}
+
+// DefaultConfig is a laptop-scale instance.
+func DefaultConfig() Config {
+	return Config{
+		Items: 128, InitialStock: 8, Customers: 64,
+		Tasks: 512, QueryWindow: 4, ReservePct: 80, Seed: 1,
+	}
+}
+
+// Bench is one vacation instance. Single-use.
+type Bench struct {
+	cfg Config
+
+	// relations[r] maps item id -> remaining stock.
+	relations [numRelations]*rbtree.Tree
+	// customers maps customer id -> reservation list (relation*Items+item).
+	customers *ds.Map[int, []int]
+	// reservedTotal counts successful reservations per relation.
+	reservedTotal [numRelations]*stm.Var[int]
+	// driftVars tracks the net inventory adjustment per relation made by
+	// updateInventory tasks, so Validate can balance the books.
+	driftVars [numRelations]*stm.Var[int]
+	cancelled *stm.Var[int] // units returned by cancellations
+}
+
+// New returns a bench for cfg.
+func New(cfg Config) *Bench { return &Bench{cfg: cfg} }
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string { return "vacation" }
+
+// Init populates the relations and the customer directory.
+func (b *Bench) Init(th *stm.Thread) error {
+	if b.cfg.Items < 1 || b.cfg.Customers < 1 || b.cfg.QueryWindow < 1 {
+		return fmt.Errorf("vacation: bad config %+v", b.cfg)
+	}
+	b.customers = ds.NewMap[int, []int](64, ds.HashInt)
+	for r := 0; r < numRelations; r++ {
+		b.relations[r] = rbtree.New()
+		b.reservedTotal[r] = stm.NewVar(0)
+		b.driftVars[r] = stm.NewVar(0)
+	}
+	b.cancelled = stm.NewVar(0)
+	return th.Atomically(func(tx *stm.Tx) error {
+		for r := 0; r < numRelations; r++ {
+			for item := 0; item < b.cfg.Items; item++ {
+				b.relations[r].Insert(tx, item, b.cfg.InitialStock)
+			}
+		}
+		for c := 0; c < b.cfg.Customers; c++ {
+			b.customers.Put(tx, c, nil)
+		}
+		return nil
+	})
+}
+
+// Worker runs this worker's share of the task stream.
+func (b *Bench) Worker(th *stm.Thread, id, n int) error {
+	r := stamp.NewRand(b.cfg.Seed, uint64(id)+100)
+	chunk := (b.cfg.Tasks + n - 1) / n
+	lo := min(id*chunk, b.cfg.Tasks)
+	hi := min(lo+chunk, b.cfg.Tasks)
+	for t := lo; t < hi; t++ {
+		kind := r.Intn(100)
+		var err error
+		switch {
+		case kind < b.cfg.ReservePct:
+			err = b.makeReservation(th, r)
+		case kind < b.cfg.ReservePct+(100-b.cfg.ReservePct)/2:
+			err = b.cancelCustomer(th, r)
+		default:
+			err = b.updateInventory(th, r)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// makeReservation is STAMP's MAKE_RESERVATION: for each relation, scan a
+// window of item ids for the one with most stock, then reserve one unit of
+// each found item for a random customer — all in one transaction.
+func (b *Bench) makeReservation(th *stm.Thread, r *stamp.Rand) error {
+	cust := r.Intn(b.cfg.Customers)
+	window := make([]int, b.cfg.QueryWindow)
+	for i := range window {
+		window[i] = r.Intn(b.cfg.Items)
+	}
+	return th.Atomically(func(tx *stm.Tx) error {
+		var picks [numRelations]int
+		for rel := 0; rel < numRelations; rel++ {
+			best, bestStock := -1, 0
+			for _, item := range window {
+				if stock, ok := b.relations[rel].Get(tx, item); ok && stock > bestStock {
+					best, bestStock = item, stock
+				}
+			}
+			picks[rel] = best
+		}
+		resv, ok := b.customers.Get(tx, cust)
+		if !ok {
+			return nil // customer cancelled concurrently
+		}
+		changed := false
+		for rel, item := range picks {
+			if item < 0 {
+				continue
+			}
+			stock, _ := b.relations[rel].Get(tx, item)
+			if stock <= 0 {
+				continue
+			}
+			b.relations[rel].Insert(tx, item, stock-1) // update stock
+			next := make([]int, len(resv)+1)
+			copy(next, resv)
+			next[len(resv)] = rel*b.cfg.Items + item
+			resv = next
+			b.reservedTotal[rel].Store(tx, b.reservedTotal[rel].Load(tx)+1)
+			changed = true
+		}
+		if changed {
+			b.customers.Put(tx, cust, resv)
+		}
+		return nil
+	})
+}
+
+// cancelCustomer is STAMP's DELETE_CUSTOMER: release all of a customer's
+// reservations back to inventory and empty the record.
+func (b *Bench) cancelCustomer(th *stm.Thread, r *stamp.Rand) error {
+	cust := r.Intn(b.cfg.Customers)
+	return th.Atomically(func(tx *stm.Tx) error {
+		resv, ok := b.customers.Get(tx, cust)
+		if !ok || len(resv) == 0 {
+			return nil
+		}
+		for _, enc := range resv {
+			rel, item := enc/b.cfg.Items, enc%b.cfg.Items
+			stock, _ := b.relations[rel].Get(tx, item)
+			b.relations[rel].Insert(tx, item, stock+1)
+			b.reservedTotal[rel].Store(tx, b.reservedTotal[rel].Load(tx)-1)
+			b.cancelled.Store(tx, b.cancelled.Load(tx)+1)
+		}
+		b.customers.Put(tx, cust, nil)
+		return nil
+	})
+}
+
+// updateInventory is STAMP's UPDATE_TABLES: add or remove stock on a random
+// item of a random relation (never below zero reserved-consistency).
+func (b *Bench) updateInventory(th *stm.Thread, r *stamp.Rand) error {
+	rel := r.Intn(numRelations)
+	item := r.Intn(b.cfg.Items)
+	delta := 1 + r.Intn(3)
+	if r.Intn(2) == 0 {
+		delta = -delta
+	}
+	return th.Atomically(func(tx *stm.Tx) error {
+		stock, ok := b.relations[rel].Get(tx, item)
+		if !ok {
+			return nil
+		}
+		next := stock + delta
+		if next < 0 {
+			next = 0
+		}
+		b.relations[rel].Insert(tx, item, next)
+		// Track net stock drift so Validate can account for it.
+		b.stockDrift(tx, rel, next-stock)
+		return nil
+	})
+}
+
+// stockDrift records an inventory adjustment for Validate's accounting.
+func (b *Bench) stockDrift(tx *stm.Tx, rel, delta int) {
+	b.driftVars[rel].Store(tx, b.driftVars[rel].Load(tx)+delta)
+}
+
+// Validate checks conservation per relation:
+//
+//	current stock + outstanding reservations == initial stock + drift.
+//
+// It also cross-checks outstanding reservations against the customer
+// directory and the red-black tree invariants.
+func (b *Bench) Validate() error {
+	outstanding := make([]int, numRelations)
+	b.customers.ForEachQuiescent(func(_ int, resv []int) {
+		for _, enc := range resv {
+			outstanding[enc/b.cfg.Items]++
+		}
+	})
+	for rel := 0; rel < numRelations; rel++ {
+		if err := b.relations[rel].CheckInvariants(); err != nil {
+			return fmt.Errorf("vacation: relation %d tree: %w", rel, err)
+		}
+		if got := b.reservedTotal[rel].Peek(); got != outstanding[rel] {
+			return fmt.Errorf("vacation: relation %d reserved counter %d != directory %d",
+				rel, got, outstanding[rel])
+		}
+		stock := 0
+		tree := b.relations[rel]
+		for _, k := range tree.Keys() {
+			v, ok := tree.GetQuiescent(k)
+			if !ok {
+				return fmt.Errorf("vacation: relation %d lost item %d", rel, k)
+			}
+			if v < 0 {
+				return fmt.Errorf("vacation: relation %d item %d stock %d < 0", rel, k, v)
+			}
+			stock += v
+		}
+		want := b.cfg.Items*b.cfg.InitialStock + b.driftVars[rel].Peek() - outstanding[rel]
+		if stock != want {
+			return fmt.Errorf("vacation: relation %d stock %d != expected %d", rel, stock, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package vacation
+
+import (
+	"testing"
+
+	"github.com/ssrg-vt/rinval/internal/stamp"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+func smallConfig() Config {
+	return Config{
+		Items: 32, InitialStock: 4, Customers: 16,
+		Tasks: 160, QueryWindow: 3, ReservePct: 80, Seed: 5,
+	}
+}
+
+func TestVacationSingleThread(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	b := New(smallConfig())
+	res, err := stamp.Run(sys, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Commits == 0 {
+		t.Fatal("no commits recorded")
+	}
+	// Reservations must actually have happened at 80% reserve mix.
+	total := 0
+	for rel := 0; rel < numRelations; rel++ {
+		total += b.reservedTotal[rel].Peek()
+	}
+	if total == 0 {
+		t.Fatal("no reservations made")
+	}
+}
+
+func TestVacationAllEnginesConcurrent(t *testing.T) {
+	for _, algo := range stm.Algos {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			sys := stm.MustNew(stm.Config{Algo: algo, MaxThreads: 8, InvalServers: 2})
+			defer sys.Close()
+			if _, err := stamp.Run(sys, New(smallConfig()), 4); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestVacationCancelHeavyMix(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ReservePct = 30 // most tasks cancel or update
+	sys := stm.MustNew(stm.Config{Algo: stm.RInvalV2, MaxThreads: 8, InvalServers: 2})
+	defer sys.Close()
+	if _, err := stamp.Run(sys, New(cfg), 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVacationBadConfig(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	if _, err := stamp.Run(sys, New(Config{Items: 0}), 1); err == nil {
+		t.Fatal("zero items accepted")
+	}
+}
+
+func TestValidateCatchesImbalance(t *testing.T) {
+	sys := stm.MustNew(stm.Config{Algo: stm.NOrec, MaxThreads: 4})
+	defer sys.Close()
+	b := New(smallConfig())
+	if _, err := stamp.Run(sys, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Steal a unit of stock behind the system's back.
+	th := sys.MustRegister()
+	defer th.Close()
+	_ = th.Atomically(func(tx *stm.Tx) error {
+		v, _ := b.relations[relCar].Get(tx, 0)
+		b.relations[relCar].Insert(tx, 0, v+1)
+		return nil
+	})
+	if err := b.Validate(); err == nil {
+		t.Fatal("validation missed stock imbalance")
+	}
+}

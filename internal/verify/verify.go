@@ -1,0 +1,261 @@
+// Package verify stress-checks an engine's safety properties: opacity
+// (consistent snapshots inside every transaction body, even doomed ones),
+// atomicity (conservation of transferred quantities), and structural
+// integrity of a transactional red-black tree under a concurrent mixed
+// workload. cmd/rinval-verify wraps it as a CLI; the test suite uses it as
+// one more adversarial pass over every engine.
+package verify
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ssrg-vt/rinval/container/rbtree"
+	"github.com/ssrg-vt/rinval/internal/stamp"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// Options configures a verification run.
+type Options struct {
+	Threads  int           // concurrent workers per check (>= 2)
+	Duration time.Duration // wall time per check
+	Seed     uint64
+}
+
+// Report summarizes the evidence gathered.
+type Report struct {
+	Snapshots uint64 // consistent multi-var snapshots observed
+	Audits    uint64 // conserved-total audits performed
+	TreeOps   uint64 // red-black tree operations executed
+	Commits   uint64
+	Aborts    uint64
+}
+
+// Engine runs all checks against one engine and returns the first safety
+// violation found.
+func Engine(algo stm.Algo, o Options) (Report, error) {
+	if o.Threads < 2 {
+		o.Threads = 2
+	}
+	if o.Duration <= 0 {
+		o.Duration = time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	var rep Report
+	if err := checkOpacity(algo, o, &rep); err != nil {
+		return rep, fmt.Errorf("opacity: %w", err)
+	}
+	if err := checkConservation(algo, o, &rep); err != nil {
+		return rep, fmt.Errorf("conservation: %w", err)
+	}
+	if err := checkTree(algo, o, &rep); err != nil {
+		return rep, fmt.Errorf("rbtree: %w", err)
+	}
+	return rep, nil
+}
+
+func newSystem(algo stm.Algo, o Options) (*stm.System, error) {
+	return stm.New(stm.Config{
+		Algo:         algo,
+		MaxThreads:   o.Threads + 1,
+		InvalServers: min(4, o.Threads+1),
+		Seed:         o.Seed,
+	})
+}
+
+// checkOpacity: writers keep an array of vars all-equal; readers assert
+// equality inside the body. Any observed mix of old and new values is an
+// opacity violation.
+func checkOpacity(algo stm.Algo, o Options, rep *Report) error {
+	sys, err := newSystem(algo, o)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	const n = 6
+	vars := make([]*stm.Var[int], n)
+	for i := range vars {
+		vars[i] = stm.NewVar(0)
+	}
+	var stop atomic.Bool
+	var violations atomic.Int64
+	var snapshots atomic.Uint64
+	var wg sync.WaitGroup
+	writers := o.Threads / 2
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := sys.MustRegister()
+			defer th.Close()
+			for !stop.Load() {
+				_ = th.Atomically(func(tx *stm.Tx) error {
+					v0 := vars[0].Load(tx)
+					for _, v := range vars {
+						v.Store(tx, v0+1)
+					}
+					return nil
+				})
+			}
+		}()
+	}
+	for r := writers; r < o.Threads; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := sys.MustRegister()
+			defer th.Close()
+			for !stop.Load() {
+				_ = th.Atomically(func(tx *stm.Tx) error {
+					first := vars[0].Load(tx)
+					for _, v := range vars[1:] {
+						if v.Load(tx) != first {
+							violations.Add(1)
+							return nil
+						}
+					}
+					return nil
+				})
+				snapshots.Add(1)
+			}
+		}()
+	}
+	time.Sleep(o.Duration)
+	stop.Store(true)
+	wg.Wait()
+	rep.Snapshots += snapshots.Load()
+	if v := violations.Load(); v != 0 {
+		return fmt.Errorf("%d inconsistent snapshots observed", v)
+	}
+	final := vars[0].Peek()
+	for i, v := range vars {
+		if v.Peek() != final {
+			return fmt.Errorf("final state diverged at var %d", i)
+		}
+	}
+	return nil
+}
+
+// checkConservation: random transfers between accounts; auditors sum all
+// accounts transactionally and at the end quiescently.
+func checkConservation(algo stm.Algo, o Options, rep *Report) error {
+	sys, err := newSystem(algo, o)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	const accounts, initial = 12, 500
+	accs := make([]*stm.Var[int], accounts)
+	for i := range accs {
+		accs[i] = stm.NewVar(initial)
+	}
+	var stop atomic.Bool
+	var badAudits atomic.Int64
+	var audits atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < o.Threads-1; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := sys.MustRegister()
+			defer th.Close()
+			rng := stamp.NewRand(o.Seed, uint64(w)+40)
+			for !stop.Load() {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				amt := rng.Intn(40)
+				_ = th.Atomically(func(tx *stm.Tx) error {
+					accs[from].Store(tx, accs[from].Load(tx)-amt)
+					accs[to].Store(tx, accs[to].Load(tx)+amt)
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := sys.MustRegister()
+		defer th.Close()
+		for !stop.Load() {
+			total := 0
+			_ = th.Atomically(func(tx *stm.Tx) error {
+				total = 0
+				for _, a := range accs {
+					total += a.Load(tx)
+				}
+				return nil
+			})
+			if total != accounts*initial {
+				badAudits.Add(1)
+			}
+			audits.Add(1)
+		}
+	}()
+	time.Sleep(o.Duration)
+	stop.Store(true)
+	wg.Wait()
+	rep.Audits += audits.Load()
+	st := sys.Stats()
+	rep.Commits += st.Commits
+	rep.Aborts += st.Aborts
+	if v := badAudits.Load(); v != 0 {
+		return fmt.Errorf("%d audits saw a wrong total", v)
+	}
+	total := 0
+	for _, a := range accs {
+		total += a.Peek()
+	}
+	if total != accounts*initial {
+		return fmt.Errorf("final total %d != %d", total, accounts*initial)
+	}
+	return nil
+}
+
+// checkTree: mixed insert/delete/lookup traffic, then full invariant check.
+func checkTree(algo stm.Algo, o Options, rep *Report) error {
+	sys, err := newSystem(algo, o)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	tree := rbtree.New()
+	const keyRange = 512
+	var stop atomic.Bool
+	var ops atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < o.Threads; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := sys.MustRegister()
+			defer th.Close()
+			rng := stamp.NewRand(o.Seed, uint64(w)+90)
+			for !stop.Load() {
+				k := rng.Intn(keyRange)
+				switch rng.Intn(3) {
+				case 0:
+					_ = th.Atomically(func(tx *stm.Tx) error { tree.Insert(tx, k, k); return nil })
+				case 1:
+					_ = th.Atomically(func(tx *stm.Tx) error { tree.Delete(tx, k); return nil })
+				default:
+					_ = th.Atomically(func(tx *stm.Tx) error { tree.Contains(tx, k); return nil })
+				}
+				ops.Add(1)
+			}
+		}()
+	}
+	time.Sleep(o.Duration)
+	stop.Store(true)
+	wg.Wait()
+	rep.TreeOps += ops.Load()
+	st := sys.Stats()
+	rep.Commits += st.Commits
+	rep.Aborts += st.Aborts
+	return tree.CheckInvariants()
+}

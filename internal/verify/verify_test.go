@@ -1,0 +1,37 @@
+package verify
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+func TestEngineAllAlgos(t *testing.T) {
+	for _, a := range stm.Algos {
+		a := a
+		t.Run(a.String(), func(t *testing.T) {
+			rep, err := Engine(a, Options{Threads: 4, Duration: 60 * time.Millisecond, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Snapshots == 0 || rep.Audits == 0 || rep.TreeOps == 0 {
+				t.Fatalf("no evidence gathered: %+v", rep)
+			}
+			if rep.Commits == 0 {
+				t.Fatalf("no commits: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	// Degenerate options must be normalized, not crash.
+	rep, err := Engine(stm.NOrec, Options{Threads: 0, Duration: 0, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Snapshots == 0 {
+		t.Fatal("defaults produced no work")
+	}
+}

@@ -1,0 +1,208 @@
+// Package stm is the public API of the RInval software transactional memory
+// library — a Go reproduction of "Remote Invalidation: Optimizing the
+// Critical Path of Memory Transactions" (Hassan, Palmieri, Ravindran,
+// IPDPS 2014).
+//
+// # Quick start
+//
+//	sys, _ := stm.New(stm.Config{Algo: stm.RInvalV2})
+//	defer sys.Close()
+//
+//	acct := stm.NewVar(100)
+//
+//	th, _ := sys.Register()
+//	defer th.Close()
+//	_ = th.Atomically(func(tx *stm.Tx) error {
+//		balance := acct.Load(tx)
+//		acct.Store(tx, balance-30)
+//		return nil
+//	})
+//
+// Six engines share this API (see Algo): a global-mutex baseline, NOrec
+// (validation-based), InvalSTM (commit-time invalidation), and the paper's
+// three Remote Invalidation variants, which execute commit and invalidation
+// on dedicated server goroutines with cache-aligned client/server mailboxes.
+//
+// # Concurrency model
+//
+// A System may serve any number of goroutines; each goroutine claims a
+// Thread (a slot in the cache-aligned requests array) and runs transactions
+// through it. Transaction bodies may be re-executed after conflicts, so they
+// must confine side effects to Var operations. All engines guarantee opacity:
+// a transaction body never observes an inconsistent snapshot, even on
+// attempts that later abort.
+package stm
+
+import (
+	"github.com/ssrg-vt/rinval/internal/core"
+)
+
+// Config parameterizes a System. The zero value selects NOrec with 64
+// threads; see the field documentation on the aliased type.
+type Config = core.Config
+
+// Algo selects the concurrency-control engine.
+type Algo = core.Algo
+
+// Engine selections (see the package documentation for their semantics).
+const (
+	Mutex    = core.Mutex
+	NOrec    = core.NOrec
+	InvalSTM = core.InvalSTM
+	RInvalV1 = core.RInvalV1
+	RInvalV2 = core.RInvalV2
+	RInvalV3 = core.RInvalV3
+	TL2      = core.TL2
+)
+
+// Algos lists every engine in presentation order.
+var Algos = core.Algos
+
+// ParseAlgo converts an engine name ("norec", "rinval-v2", ...) to an Algo.
+func ParseAlgo(s string) (Algo, error) { return core.ParseAlgo(s) }
+
+// CMPolicy selects the contention manager.
+type CMPolicy = core.CMPolicy
+
+// Contention-manager policies.
+const (
+	CMCommitterWins = core.CMCommitterWins
+	CMBackoff       = core.CMBackoff
+	CMReaderBiased  = core.CMReaderBiased
+)
+
+// Stats aggregates transactional activity; see the field documentation on
+// the aliased type.
+type Stats = core.Stats
+
+// System is one STM instance: a global timestamp domain, a cache-aligned
+// requests array, and (for the RInval engines) the commit/invalidation
+// server goroutines.
+type System struct {
+	sys *core.System
+}
+
+// New constructs a System and starts its server goroutines (if the selected
+// engine uses any). Close it when done.
+func New(cfg Config) (*System, error) {
+	sys, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{sys: sys}, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Register claims a request slot for the calling goroutine's use. Fails when
+// Config.MaxThreads threads are already registered.
+func (s *System) Register() (*Thread, error) {
+	th, err := s.sys.Register()
+	if err != nil {
+		return nil, err
+	}
+	return &Thread{th: th}, nil
+}
+
+// MustRegister is Register that panics on error.
+func (s *System) MustRegister() *Thread {
+	th, err := s.Register()
+	if err != nil {
+		panic(err)
+	}
+	return th
+}
+
+// Close stops the server goroutines. All Threads must be closed first.
+func (s *System) Close() error { return s.sys.Close() }
+
+// Stats aggregates statistics across all threads (and, after Close, the
+// servers). Call while quiescent.
+func (s *System) Stats() Stats { return s.sys.Stats() }
+
+// Algo returns the engine this system runs.
+func (s *System) Algo() Algo { return s.sys.Algo() }
+
+// Config returns the effective configuration.
+func (s *System) Config() Config { return s.sys.Config() }
+
+// Thread is a registered participant: one entry of the cache-aligned
+// requests array. Use from a single goroutine at a time.
+type Thread struct {
+	th *core.Thread
+	tx Tx
+}
+
+// Atomically executes fn as a transaction, retrying until it commits. A
+// non-nil error from fn aborts the transaction (discarding its writes) and
+// is returned.
+func (t *Thread) Atomically(fn func(*Tx) error) error {
+	return t.th.Atomically(func(inner *core.Tx) error {
+		t.tx.inner = inner
+		return fn(&t.tx)
+	})
+}
+
+// Close releases the thread's slot.
+func (t *Thread) Close() { t.th.Close() }
+
+// ID returns the thread's slot index.
+func (t *Thread) ID() int { return t.th.ID() }
+
+// Stats returns this thread's counters.
+func (t *Thread) Stats() Stats { return t.th.Stats() }
+
+// Tx is a transaction handle, valid only inside the Atomically callback that
+// received it. Access Vars through their Load/Store methods.
+type Tx struct {
+	inner *core.Tx
+}
+
+// Attempt returns the 1-based attempt number of the current execution.
+func (tx *Tx) Attempt() int { return tx.inner.Attempt() }
+
+// Var is a transactional memory cell holding a T. Values stored in a Var
+// should be immutable or treated as such: a transaction that mutates a
+// loaded pointer/slice in place bypasses conflict detection.
+type Var[T any] struct {
+	v *core.Var
+}
+
+// NewVar returns a Var initialized to initial.
+func NewVar[T any](initial T) *Var[T] {
+	return &Var[T]{v: core.NewVar(initial)}
+}
+
+// Load returns the transaction's view of the Var.
+func (v *Var[T]) Load(tx *Tx) T {
+	return tx.inner.Load(v.v).(T)
+}
+
+// Store buffers a write; it becomes visible atomically when tx commits.
+func (v *Var[T]) Store(tx *Tx, val T) {
+	tx.inner.Store(v.v, val)
+}
+
+// Peek returns the committed value without transactional protection — for
+// quiescent inspection (setup, teardown, assertions) only.
+func (v *Var[T]) Peek() T { return v.v.Peek().(T) }
+
+// Set replaces the committed value without transactional protection — for
+// quiescent setup only.
+func (v *Var[T]) Set(val T) { v.v.Set(val) }
+
+// ID returns the Var's stable identity (used by bloom signatures).
+func (v *Var[T]) ID() uint64 { return v.v.ID() }
+
+// Modify applies f to the Var's current value inside tx and stores the
+// result — the read-modify-write idiom in one call.
+func (v *Var[T]) Modify(tx *Tx, f func(T) T) {
+	v.Store(tx, f(v.Load(tx)))
+}

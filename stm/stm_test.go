@@ -1,0 +1,200 @@
+package stm_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+func newSys(t *testing.T, algo stm.Algo) *stm.System {
+	t.Helper()
+	s, err := stm.New(stm.Config{Algo: algo, MaxThreads: 16, InvalServers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s
+}
+
+func TestTypedVarsAcrossEngines(t *testing.T) {
+	type point struct{ X, Y int }
+	for _, algo := range stm.Algos {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			s := newSys(t, algo)
+			th := s.MustRegister()
+			defer th.Close()
+
+			i := stm.NewVar(7)
+			str := stm.NewVar("a")
+			p := stm.NewVar(point{1, 2})
+			sl := stm.NewVar([]int{1, 2, 3})
+
+			err := th.Atomically(func(tx *stm.Tx) error {
+				i.Store(tx, i.Load(tx)+1)
+				str.Store(tx, str.Load(tx)+"b")
+				pt := p.Load(tx)
+				pt.X++
+				p.Store(tx, pt)
+				old := sl.Load(tx)
+				next := make([]int, len(old)+1)
+				copy(next, old)
+				next[len(old)] = 4
+				sl.Store(tx, next)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i.Peek() != 8 || str.Peek() != "ab" {
+				t.Fatalf("i=%d str=%q", i.Peek(), str.Peek())
+			}
+			if p.Peek() != (point{2, 2}) {
+				t.Fatalf("p=%+v", p.Peek())
+			}
+			if got := sl.Peek(); len(got) != 4 || got[3] != 4 {
+				t.Fatalf("sl=%v", got)
+			}
+		})
+	}
+}
+
+func TestModify(t *testing.T) {
+	s := newSys(t, stm.NOrec)
+	th := s.MustRegister()
+	defer th.Close()
+	v := stm.NewVar(10)
+	if err := th.Atomically(func(tx *stm.Tx) error {
+		v.Modify(tx, func(x int) int { return x * 3 })
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v.Peek() != 30 {
+		t.Fatalf("got %d", v.Peek())
+	}
+}
+
+func TestUserAbortReturnsError(t *testing.T) {
+	s := newSys(t, stm.RInvalV2)
+	th := s.MustRegister()
+	defer th.Close()
+	v := stm.NewVar(1)
+	sentinel := errors.New("nope")
+	err := th.Atomically(func(tx *stm.Tx) error {
+		v.Store(tx, 2)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err=%v", err)
+	}
+	if v.Peek() != 1 {
+		t.Fatal("write leaked")
+	}
+}
+
+func TestPeekSetID(t *testing.T) {
+	v := stm.NewVar("x")
+	if v.Peek() != "x" {
+		t.Fatal("Peek")
+	}
+	v.Set("y")
+	if v.Peek() != "y" {
+		t.Fatal("Set")
+	}
+	w := stm.NewVar("z")
+	if v.ID() == 0 || v.ID() == w.ID() {
+		t.Fatal("IDs must be nonzero and unique")
+	}
+}
+
+func TestParseAlgoNames(t *testing.T) {
+	for _, a := range stm.Algos {
+		got, err := stm.ParseAlgo(a.String())
+		if err != nil || got != a {
+			t.Fatalf("round trip %v: %v %v", a, got, err)
+		}
+	}
+}
+
+func TestConcurrentTypedCounter(t *testing.T) {
+	for _, algo := range stm.Algos {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			s := newSys(t, algo)
+			c := stm.NewVar(uint64(0))
+			const workers, per = 6, 100
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := s.MustRegister()
+					defer th.Close()
+					for i := 0; i < per; i++ {
+						_ = th.Atomically(func(tx *stm.Tx) error {
+							c.Modify(tx, func(x uint64) uint64 { return x + 1 })
+							return nil
+						})
+					}
+				}()
+			}
+			wg.Wait()
+			if c.Peek() != workers*per {
+				t.Fatalf("got %d want %d", c.Peek(), workers*per)
+			}
+			st := s.Stats()
+			if st.Commits < workers*per {
+				t.Fatalf("stats commits %d", st.Commits)
+			}
+		})
+	}
+}
+
+func TestQuickTypedRoundTrip(t *testing.T) {
+	s := newSys(t, stm.RInvalV1)
+	th := s.MustRegister()
+	defer th.Close()
+	f := func(vals []int64) bool {
+		v := stm.NewVar(int64(0))
+		for _, x := range vals {
+			if err := th.Atomically(func(tx *stm.Tx) error {
+				v.Store(tx, x)
+				return nil
+			}); err != nil {
+				return false
+			}
+			if v.Peek() != x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ExampleSystem() {
+	sys := stm.MustNew(stm.Config{Algo: stm.RInvalV2, MaxThreads: 4, InvalServers: 2})
+	defer sys.Close()
+
+	account := stm.NewVar(100)
+	th := sys.MustRegister()
+	defer th.Close()
+
+	_ = th.Atomically(func(tx *stm.Tx) error {
+		account.Store(tx, account.Load(tx)-30)
+		return nil
+	})
+	fmt.Println(account.Peek())
+	// Output: 70
+}
