@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: verify build test vet race bench-groupcommit
+
+## verify: the full pre-merge gate — vet, build, tests, and the race
+## detector over the packages with real concurrency.
+verify: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/core/ ./stm/
+
+## bench-groupcommit: regenerate results/BENCH_group_commit.json (live mode).
+bench-groupcommit:
+	$(GO) run ./cmd/rinval-bench -exp groupcommit -mode live

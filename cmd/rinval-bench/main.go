@@ -15,6 +15,7 @@
 //	rinval-bench -exp ablReadSet       # ablation: validation vs read-set size
 //	rinval-bench -exp ablTL2           # ablation: coarse family vs TL2
 //	rinval-bench -exp latency -mode live  # per-transaction latency percentiles
+//	rinval-bench -exp groupcommit -mode live -out results/BENCH_group_commit.json
 //
 // -mode sim (default) runs the deterministic 64-core discrete-event model,
 // which reproduces the paper's shapes on any host. -mode live runs the real
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig7a", "experiment: fig2|fig3|fig7a|fig7b|fig8|ablK|ablJitter|ablSteps|ablBloom|ablReadSet|ablTL2|latency")
+		exp      = flag.String("exp", "fig7a", "experiment: fig2|fig3|fig7a|fig7b|fig8|ablK|ablJitter|ablSteps|ablBloom|ablReadSet|ablTL2|latency|groupcommit")
 		mode     = flag.String("mode", "sim", "execution mode: sim (64-core model) or live (this machine)")
 		threads  = flag.String("threads", "2,4,8,16,24,32,48,64", "comma-separated thread counts")
 		app      = flag.String("app", "", "restrict fig8 to one STAMP app")
@@ -41,8 +42,17 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		svgDir   = flag.String("svg", "", "also render each table as an SVG chart into this directory")
+		out      = flag.String("out", "", "groupcommit: JSON output path (default results/BENCH_group_commit.json)")
+		iters    = flag.Int("iters", 400, "groupcommit: committed transactions per client")
 	)
 	flag.Parse()
+
+	if *exp == "groupcommit" {
+		if err := runGroupCommit(*mode, *out, *iters); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	ths, err := bench.ParseThreads(*threads)
 	if err != nil {
@@ -179,6 +189,38 @@ func run(exp, mode string, ths []int, app string, dur time.Duration, seed uint64
 		return []*bench.Table{bench.SimAblationCoarseVsFine(ths, seed)}, nil
 	}
 	return nil, fmt.Errorf("unknown experiment %q", exp)
+}
+
+// runGroupCommit sweeps the group-commit batching knob on the live RInval
+// engines and writes the JSON report consumed by the acceptance checks.
+func runGroupCommit(mode, out string, iters int) error {
+	if mode != "live" {
+		return fmt.Errorf("groupcommit is live-only (it measures the real commit-server)")
+	}
+	if out == "" {
+		out = "results/BENCH_group_commit.json"
+	}
+	rep, err := bench.RunGroupCommit(
+		[]stm.Algo{stm.RInvalV1, stm.RInvalV2},
+		bench.GroupCommitOpts{
+			Clients: []int{1, 4, 16, 64},
+			Batches: []int{1, 4, 16},
+			Iters:   iters,
+		})
+	if err != nil {
+		return err
+	}
+	rep.Format(os.Stdout)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }
 
 // runLatency handles the latency experiment, which uses its own table shape.

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// TestRunGroupCommit runs a tiny sweep and checks the report's invariants:
+// commits are exact (conflict-free workload), MaxBatch=1 burns one epoch per
+// commit, and batching never exceeds the cap or the commit count.
+func TestRunGroupCommit(t *testing.T) {
+	rep, err := RunGroupCommit([]stm.Algo{stm.RInvalV1, stm.RInvalV2},
+		GroupCommitOpts{Clients: []int{1, 4}, Batches: []int{1, 4}, Iters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2*2*2 {
+		t.Fatalf("points = %d, want 8", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Commits != uint64(p.Clients)*50 {
+			t.Errorf("%s c=%d mb=%d: commits = %d, want %d",
+				p.Algo, p.Clients, p.MaxBatch, p.Commits, p.Clients*50)
+		}
+		if p.MaxBatch == 1 && p.Epochs != p.Commits {
+			t.Errorf("%s c=%d mb=1: epochs = %d, want %d (one per commit)",
+				p.Algo, p.Clients, p.Epochs, p.Commits)
+		}
+		if p.Epochs > p.Commits {
+			t.Errorf("%s c=%d mb=%d: epochs %d > commits %d",
+				p.Algo, p.Clients, p.MaxBatch, p.Epochs, p.Commits)
+		}
+		if p.MaxBatchSeen > uint64(p.MaxBatch) {
+			t.Errorf("%s c=%d mb=%d: batch of %d exceeds cap",
+				p.Algo, p.Clients, p.MaxBatch, p.MaxBatchSeen)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round GroupCommitReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(round.Points) != len(rep.Points) {
+		t.Fatalf("round-trip lost points: %d != %d", len(round.Points), len(rep.Points))
+	}
+}

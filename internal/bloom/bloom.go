@@ -135,6 +135,25 @@ func (f *Filter) CopyFrom(g *Filter) {
 	copy(f.words, g.words)
 }
 
+// UnionWith adds every element of g to f (same geometry required). Group
+// commit uses it to merge a batch's write signatures into one filter that a
+// single invalidation scan can test against.
+func (f *Filter) UnionWith(g *Filter) {
+	for i, w := range g.words {
+		f.words[i] |= w
+	}
+}
+
+// UnionAtomic adds every element currently in a to f (same geometry
+// required). Like Atomic.Snapshot but accumulating, so a batch's read
+// signatures can be folded into one compatibility filter without a scratch
+// copy per member.
+func (f *Filter) UnionAtomic(a *Atomic) {
+	for i := range a.words {
+		f.words[i] |= a.words[i].Load()
+	}
+}
+
 // Clone returns an independent copy of f.
 func (f *Filter) Clone() *Filter {
 	c := NewFilter(f.p)

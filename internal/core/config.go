@@ -115,6 +115,12 @@ type Config struct {
 	// StepsAhead bounds how far the RInvalV3 commit-server may run ahead of
 	// the slowest invalidation-server, in commits. Default 2.
 	StepsAhead int
+	// MaxBatch caps how many mutually compatible commit requests the RInval
+	// commit-server may fold into one group-commit epoch (one odd/even
+	// timestamp transition, one merged invalidation signature). 1 disables
+	// batching and reproduces the paper's one-request-per-epoch protocol
+	// exactly. Default 8.
+	MaxBatch int
 	// Bloom is the read/write signature geometry. Default bloom.DefaultParams.
 	Bloom bloom.Params
 	// CM selects the contention manager. Default CMBackoff.
@@ -154,6 +160,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.StepsAhead == 0 {
 		c.StepsAhead = 2
 	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
 	if c.Bloom == (bloom.Params{}) {
 		c.Bloom = bloom.DefaultParams
 	}
@@ -174,6 +183,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.StepsAhead < 1 || c.StepsAhead > 64 {
 		return c, fmt.Errorf("core: StepsAhead %d out of range [1,64]", c.StepsAhead)
+	}
+	if c.MaxBatch < 1 || c.MaxBatch > 4096 {
+		return c, fmt.Errorf("core: MaxBatch %d out of range [1,4096]", c.MaxBatch)
 	}
 	switch c.Algo {
 	case Mutex, NOrec, InvalSTM, RInvalV1, RInvalV2, RInvalV3, TL2:

@@ -1,6 +1,10 @@
 package core
 
-import "github.com/ssrg-vt/rinval/internal/spin"
+import (
+	"sync/atomic"
+
+	"github.com/ssrg-vt/rinval/internal/spin"
+)
 
 // invalEngine implements InvalSTM-style commit-time invalidation (the
 // paper's Algorithm 1, after Gottschlich et al., CGO 2010). Reads are
@@ -86,7 +90,7 @@ func (e *invalEngine) commit(tx *Tx) bool {
 		sys.ts.Store(t) // release without publishing anything
 		return false
 	}
-	tx.stats.Invalidations += sys.invalidateOthers(tx.th.idx, tx.ws.bf)
+	atomic.AddUint64(&tx.stats.Invalidations, sys.invalidateOthers(tx.slot.selfMask, tx.ws.bf))
 	tx.ws.writeBack()
 	sys.ts.Store(t + 2)
 	return true
@@ -108,7 +112,7 @@ func readerBiasedSelfAbort(tx *Tx) bool {
 		return false
 	}
 	if sys.countConflictingReaders(tx.th.idx, tx.ws.bf) > sys.cfg.ReaderBiasThreshold {
-		tx.stats.SelfAborts++
+		atomic.AddUint64(&tx.stats.SelfAborts, 1)
 		return true
 	}
 	return false

@@ -1,6 +1,10 @@
 package core
 
-import "github.com/ssrg-vt/rinval/internal/spin"
+import (
+	"sync/atomic"
+
+	"github.com/ssrg-vt/rinval/internal/spin"
+)
 
 // norecEngine implements NOrec (Dalessandro, Spear, Scott — PPoPP 2010): a
 // single global sequence lock, lazy write buffering, and value-based
@@ -48,13 +52,20 @@ func (e *norecEngine) revalidate(tx *Tx) (uint64, bool) {
 	var w spin.Waiter
 	for {
 		t := e.sys.waitEven()
-		tx.stats.Validations++
+		atomic.AddUint64(&tx.stats.Validations, 1)
+		var ops uint64
+		ok := true
 		for i := range tx.rs.entries {
 			re := &tx.rs.entries[i]
-			tx.stats.ValidationOps++
+			ops++
 			if re.v.loadBox() != re.snap {
-				return 0, false
+				ok = false
+				break
 			}
+		}
+		atomic.AddUint64(&tx.stats.ValidationOps, ops)
+		if !ok {
+			return 0, false
 		}
 		if e.sys.ts.Load() == t {
 			return t, true

@@ -26,15 +26,28 @@ type remoteEngine struct {
 	sys        *System
 	numInval   int
 	stepsAhead int
+	maxBatch   int
 
 	// sigBufs[i] is the stable write-signature buffer for ring slot i. The
-	// commit-server copies the client's write filter here before publishing
-	// the descriptor: the client regains ownership of its write set (and
-	// clears its filter) as soon as it sees the COMMITTED reply, which can
-	// happen while invalidation-servers are still scanning. The ring's
+	// commit-server copies the batch's merged write filter here before
+	// publishing the descriptor: a client regains ownership of its write set
+	// (and clears its filter) as soon as it sees the COMMITTED reply, which
+	// can happen while invalidation-servers are still scanning. The ring's
 	// overwrite bound (no server trails by more than stepsAhead commits)
 	// guarantees a buffer is never recycled while a server still reads it.
 	sigBufs []*bloom.Filter
+	// memberBufs[i] is the stable member-mask buffer for ring slot i, reused
+	// under the same overwrite bound as sigBufs.
+	memberBufs []slotMask
+
+	// Group-commit scratch, owned by the commit-server goroutine: the batch
+	// member slots, the union of their write signatures, the union of their
+	// read signatures (for the R/W compatibility test), and the member mask
+	// RInvalV1 passes to its inline invalidation scan.
+	batchIdx  []int
+	batchWS   *bloom.Filter
+	batchRS   *bloom.Filter
+	batchMask slotMask
 
 	commitSrv Stats   // commit-server activity (valid after servers stop)
 	invalSrv  []Stats // per-invalidation-server activity
@@ -45,11 +58,18 @@ func newRemoteEngine(sys *System, numInval, stepsAhead int) *remoteEngine {
 		sys:        sys,
 		numInval:   numInval,
 		stepsAhead: stepsAhead,
+		maxBatch:   sys.cfg.MaxBatch,
 		invalSrv:   make([]Stats, numInval),
 		sigBufs:    make([]*bloom.Filter, len(sys.ring)),
+		memberBufs: make([]slotMask, len(sys.ring)),
+		batchIdx:   make([]int, 0, sys.cfg.MaxThreads),
+		batchWS:    bloom.NewFilter(sys.cfg.Bloom),
+		batchRS:    bloom.NewFilter(sys.cfg.Bloom),
+		batchMask:  newSlotMask(sys.cfg.MaxThreads),
 	}
 	for i := range e.sigBufs {
 		e.sigBufs[i] = bloom.NewFilter(sys.cfg.Bloom)
+		e.memberBufs[i] = newSlotMask(sys.cfg.MaxThreads)
 	}
 	return e
 }
@@ -122,21 +142,23 @@ func (e *remoteEngine) serverStats() Stats {
 }
 
 // commitServerMain is Algorithm 2/3/4's COMMIT-SERVER LOOP: scan the
-// requests array for PENDING entries and execute them. The scan order gives
-// a round-robin fairness guarantee: a pending request is served within one
-// pass over the array (V3 may defer a request whose invalidation-server
-// lags, but that server's catch-up is itself bounded by the ring).
+// requests array for PENDING entries and execute them, batching compatible
+// requests into one group-commit epoch. The scan order gives a round-robin
+// fairness guarantee: a pending request is served within one pass over the
+// array (V3 may defer a request whose invalidation-server lags, but that
+// server's catch-up is itself bounded by the ring; a request left out of a
+// batch for incompatibility stays PENDING and leads its own epoch when the
+// scan reaches it).
 func (e *remoteEngine) commitServerMain(stop func() bool) {
 	sys := e.sys
 	var w spin.Waiter
 	for !stop() {
 		progress := false
 		for i := range sys.slots {
-			s := &sys.slots[i]
-			if s.state.Load() != reqPending {
+			if sys.slots[i].state.Load() != reqPending {
 				continue
 			}
-			if e.handleRequest(i, s) {
+			if e.serveEpochFrom(i) {
 				progress = true
 			}
 		}
@@ -148,25 +170,62 @@ func (e *remoteEngine) commitServerMain(stop func() bool) {
 	}
 }
 
-// handleRequest executes one commit request. It returns false when the
-// request must be deferred (V3: the requester's invalidation-server has not
-// caught up) so the scan can serve other ready requests first.
-func (e *remoteEngine) handleRequest(i int, s *slot) bool {
+// serveEpochFrom executes one group-commit epoch: starting at slot first, it
+// collects up to maxBatch pending requests whose signatures are mutually
+// compatible — no W/W overlap (two members writing the same location) and no
+// R/W overlap in either direction (a member reading what another writes),
+// tested on the bloom signatures — then retires the whole batch under a
+// single odd/even timestamp transition and replies to every member.
+// Incompatible or deferred requests stay PENDING for a later epoch. It
+// returns false when no reply was sent (V3: every pending requester's
+// invalidation-server lags) so the caller's scan can back off.
+func (e *remoteEngine) serveEpochFrom(first int) bool {
 	sys := e.sys
 	t := sys.ts.Load() // even: only this goroutine makes it odd
 
-	if e.numInval > 0 {
-		// Requester's own server must have applied every prior commit's
-		// invalidation so the ALIVE check below is conclusive (Alg. 4 l. 2).
-		if sys.invalTS[s.invalServer].Load() < t {
-			if e.stepsAhead > 0 {
-				return false // defer; serve a request that is ready
-			}
-			// V2: fall through — the wait below catches every server up.
+	// Collect the batch in array order from the leader onward. A member's
+	// write signature must not intersect the members' write union (W/W) or
+	// read union (it would overwrite something a member read), and its read
+	// signature must not intersect the write union (it read something a
+	// member overwrites). With MaxBatch=1 this degenerates to the paper's
+	// one-request protocol: the leader alone, no compatibility tests.
+	e.batchIdx = e.batchIdx[:0]
+	e.batchWS.Clear()
+	e.batchRS.Clear()
+	for j := first; j < len(sys.slots) && len(e.batchIdx) < e.maxBatch; j++ {
+		s := &sys.slots[j]
+		if s.state.Load() != reqPending {
+			continue
 		}
+		if e.numInval > 0 && e.stepsAhead > 0 && sys.invalTS[s.invalServer].Load() < t {
+			// V3: the requester's own server must have applied every prior
+			// commit's invalidation for the ALIVE check below to be
+			// conclusive (Alg. 4 l. 2). Defer; serve requests that are ready.
+			// (V2 admits the request: the lag wait below catches every
+			// server up to t before the ALIVE checks.)
+			continue
+		}
+		req := s.req.Load()
+		if len(e.batchIdx) > 0 {
+			if req.ws.intersects(e.batchWS) || req.ws.intersects(e.batchRS) ||
+				s.readBF.IntersectsFilter(e.batchWS) {
+				continue
+			}
+		}
+		e.batchIdx = append(e.batchIdx, j)
+		e.batchWS.UnionWith(req.ws.bf)
+		e.batchRS.UnionAtomic(s.readBF)
+	}
+	if len(e.batchIdx) == 0 {
+		return false
+	}
+
+	if e.numInval > 0 {
 		// No invalidation-server may trail by more than stepsAhead commits;
 		// this also guarantees the ring entry we are about to overwrite has
-		// been consumed by every server (Alg. 3 l. 7 / Alg. 4 l. 5).
+		// been consumed by every server (Alg. 3 l. 7 / Alg. 4 l. 5). For V2
+		// (stepsAhead == 0) it additionally catches every server up to t,
+		// which makes the per-member ALIVE checks below conclusive.
 		lagBudget := 2 * uint64(e.stepsAhead)
 		for k := range sys.invalTS {
 			var w spin.Waiter
@@ -176,36 +235,76 @@ func (e *remoteEngine) handleRequest(i int, s *slot) bool {
 		}
 	}
 
-	// Status check before touching the timestamp: a doomed request is
-	// answered without burning a timestamp increment (Algorithm 2, line 15,
-	// and the paper's note that this saves bumping the shared timestamp for
-	// doomed transactions).
-	if _, alive := s.aliveWord(); !alive {
-		s.state.Store(reqAborted)
-		return true
+	// Per-member status check before touching the timestamp: doomed members
+	// are answered without burning a timestamp increment (Algorithm 2, line
+	// 15). The check is conclusive for every member: its own invalidation
+	// server has applied all prior commits (V1: the commit-server itself is
+	// the only invalidator), and no in-flight scan can doom it afterwards —
+	// the only unprocessed descriptor will be this epoch's, which skips
+	// members by mask.
+	n := 0
+	for _, j := range e.batchIdx {
+		s := &sys.slots[j]
+		if _, alive := s.aliveWord(); !alive {
+			s.state.Store(reqAborted)
+			continue
+		}
+		e.batchIdx[n] = j
+		n++
 	}
-	req := s.req.Load()
+	dropped := n < len(e.batchIdx)
+	e.batchIdx = e.batchIdx[:n]
+	if n == 0 {
+		return true // progress: abort replies were sent
+	}
+	if dropped {
+		// Rebuild the epoch signature from the survivors so a doomed
+		// member's writes do not cause spurious invalidations. The doomed
+		// slots have been answered; only survivors' requests are re-read.
+		e.batchWS.Clear()
+		for _, j := range e.batchIdx {
+			e.batchWS.UnionWith(sys.slots[j].req.Load().ws.bf)
+		}
+	}
 
 	if e.numInval == 0 {
-		// V1: serial invalidation + write-back by the commit-server.
+		// V1: one serial invalidation scan + write-back epoch for the batch.
+		e.batchMask.clearAll()
+		for _, j := range e.batchIdx {
+			e.batchMask.set(j)
+		}
 		sys.ts.Add(1)
-		e.commitSrv.Invalidations += sys.invalidateOthers(i, req.ws.bf)
-		req.ws.writeBack()
+		e.commitSrv.Invalidations += sys.invalidateOthers(e.batchMask, e.batchWS)
+		for _, j := range e.batchIdx {
+			sys.slots[j].req.Load().ws.writeBack()
+		}
 		sys.ts.Add(1)
 	} else {
-		// V2/V3: hand the signature to the invalidation-servers, then
-		// write back in parallel with their scans. The signature is copied
-		// into a ring-owned buffer because the client reclaims its write
-		// set the moment it sees the reply, while the scans may still run.
+		// V2/V3: hand the merged signature and member mask to the
+		// invalidation-servers, then write back in parallel with their
+		// scans. Signature and mask are copied into ring-owned buffers
+		// because a client reclaims its write set the moment it sees the
+		// reply, while the scans may still run.
 		slot := (t / 2) % uint64(len(sys.ring))
-		e.sigBufs[slot].CopyFrom(req.ws.bf)
-		sys.ring[slot].Store(&commitDesc{bf: e.sigBufs[slot], committer: i})
+		e.sigBufs[slot].CopyFrom(e.batchWS)
+		m := e.memberBufs[slot]
+		m.clearAll()
+		for _, j := range e.batchIdx {
+			m.set(j)
+		}
+		sys.ring[slot].Store(&commitDesc{bf: e.sigBufs[slot], members: m})
 		sys.ts.Add(1)
-		req.ws.writeBack()
+		for _, j := range e.batchIdx {
+			sys.slots[j].req.Load().ws.writeBack()
+		}
 		sys.ts.Add(1)
 	}
-	s.state.Store(reqCommitted)
-	e.commitSrv.Commits++
+	for _, j := range e.batchIdx {
+		sys.slots[j].state.Store(reqCommitted)
+	}
+	e.commitSrv.Commits += uint64(n)
+	e.commitSrv.Epochs++
+	e.commitSrv.BatchSizes.Record(uint64(n))
 	return true
 }
 
@@ -224,7 +323,7 @@ func (e *remoteEngine) invalServerMain(k int, stop func() bool) {
 			// the timestamp moved past it, and the commit-server cannot
 			// overwrite it until this server advances (ring bound).
 			d := sys.ring[(my/2)%uint64(len(sys.ring))].Load()
-			st.Invalidations += sys.invalidatePartition(k, d.committer, d.bf)
+			st.Invalidations += sys.invalidatePartition(k, d.members, d.bf)
 			sys.invalTS[k].Store(my + 2)
 			w.Reset()
 		} else {

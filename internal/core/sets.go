@@ -20,7 +20,13 @@ func (rs *readSet) add(v *Var, snap *box) {
 	rs.entries = append(rs.entries, readEntry{v: v, snap: snap})
 }
 
-func (rs *readSet) reset() { rs.entries = rs.entries[:0] }
+func (rs *readSet) reset() {
+	// Zero the recorded entries before truncating: entries[:0] alone keeps
+	// the *Var/*box pointers reachable through the backing array, pinning
+	// retired data structures for as long as this thread lives.
+	clear(rs.entries)
+	rs.entries = rs.entries[:0]
+}
 
 func (rs *readSet) len() int { return len(rs.entries) }
 
@@ -94,12 +100,22 @@ func (ws *writeSet) put(v *Var, b *box) {
 }
 
 func (ws *writeSet) reset() {
+	// As in readSet.reset: drop the pointers, not just the length, so
+	// committed boxes and dead Vars can be collected between transactions.
+	clear(ws.entries)
 	ws.entries = ws.entries[:0]
 	ws.idx = nil
 	ws.bf.Clear()
 }
 
 func (ws *writeSet) len() int { return len(ws.entries) }
+
+// intersects reports whether this write set's bloom signature shares a bit
+// with f — the constant-time conflict test group commit uses to decide
+// whether two pending requests may share an epoch.
+func (ws *writeSet) intersects(f *bloom.Filter) bool {
+	return ws.bf.Intersects(f)
+}
 
 // writeBack publishes every buffered version. The caller must hold the
 // write-back right (global timestamp odd, or the global mutex).

@@ -58,6 +58,10 @@ type slot struct {
 	// invalServer is the invalidation-server partition this slot belongs to
 	// (RInvalV2/V3); fixed at System construction.
 	invalServer int
+	// selfMask is the singleton slot mask {this slot}, fixed at System
+	// construction — the skip set an inline committer (InvalSTM) passes to
+	// the invalidation scan.
+	selfMask slotMask
 	// inUse marks the slot as owned by a registered Thread.
 	inUse padded.Bool
 }

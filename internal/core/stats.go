@@ -1,6 +1,11 @@
 package core
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/ssrg-vt/rinval/internal/histo"
+)
 
 // Stats aggregates a thread's transactional activity. With Config.Stats
 // enabled the *Ns fields attribute wall time to the paper's critical-path
@@ -9,6 +14,12 @@ import "time"
 // server round-trip, AbortNs covers rollback and contention-manager backoff.
 // Everything else (transaction bodies, non-transactional work) is the paper's
 // "other" block, computed by the harness as wallTime - Read - Commit - Abort.
+//
+// A live thread updates its counters with atomic adds, so System.Stats and
+// Thread.Stats may be called while transactions run: each counter is read
+// atomically (the snapshot as a whole is not a single instant, but every
+// counter is monotonic, so the result is always a state the thread passed
+// through field-by-field).
 type Stats struct {
 	Commits  uint64 // committed transactions
 	Aborts   uint64 // conflict aborts (user aborts are not counted)
@@ -24,6 +35,14 @@ type Stats struct {
 	ValidationOps uint64 // read-set entries compared during revalidations
 	Invalidations uint64 // transactions this thread doomed (InvalSTM commits)
 	SelfAborts    uint64 // CMReaderBiased writer self-aborts
+
+	// Epochs counts odd/even timestamp transitions the RInval commit-server
+	// executed. With group commit one epoch can retire a whole batch, so
+	// Epochs <= the server's Commits; the ratio is the batching win.
+	Epochs uint64
+	// BatchSizes is the distribution of group-commit batch sizes (one sample
+	// per epoch). Only the commit-server records into it.
+	BatchSizes histo.Histogram
 }
 
 // Add accumulates o into s.
@@ -40,6 +59,32 @@ func (s *Stats) Add(o Stats) {
 	s.ValidationOps += o.ValidationOps
 	s.Invalidations += o.Invalidations
 	s.SelfAborts += o.SelfAborts
+	s.Epochs += o.Epochs
+	s.BatchSizes.Merge(&o.BatchSizes)
+}
+
+// snapshotAtomic returns a copy of s safe to take while the owning thread is
+// concurrently updating counters with atomic adds. BatchSizes is copied
+// plainly: only server-side Stats (read after the servers have joined) ever
+// populate it, never a live thread's.
+func (s *Stats) snapshotAtomic() Stats {
+	out := Stats{
+		Commits:       atomic.LoadUint64(&s.Commits),
+		Aborts:        atomic.LoadUint64(&s.Aborts),
+		ReadOnly:      atomic.LoadUint64(&s.ReadOnly),
+		Reads:         atomic.LoadUint64(&s.Reads),
+		Writes:        atomic.LoadUint64(&s.Writes),
+		ReadNs:        atomic.LoadUint64(&s.ReadNs),
+		CommitNs:      atomic.LoadUint64(&s.CommitNs),
+		AbortNs:       atomic.LoadUint64(&s.AbortNs),
+		Validations:   atomic.LoadUint64(&s.Validations),
+		ValidationOps: atomic.LoadUint64(&s.ValidationOps),
+		Invalidations: atomic.LoadUint64(&s.Invalidations),
+		SelfAborts:    atomic.LoadUint64(&s.SelfAborts),
+		Epochs:        atomic.LoadUint64(&s.Epochs),
+	}
+	out.BatchSizes = s.BatchSizes
+	return out
 }
 
 // AbortRate returns aborts / (commits + aborts), or 0 when idle.

@@ -38,13 +38,33 @@ type engine interface {
 	serverStats() Stats
 }
 
+// slotMask is a bitmask over request-slot indices: the skip set an
+// invalidation scan must leave alone. For a single committer it holds one
+// bit; a group-commit epoch sets one bit per batch member so invalidation
+// skips the whole batch (a transaction that reads then writes the same
+// location always self-intersects).
+type slotMask []uint64
+
+func newSlotMask(n int) slotMask { return make(slotMask, (n+63)/64) }
+
+func (m slotMask) set(i int)      { m[i>>6] |= 1 << (uint(i) & 63) }
+func (m slotMask) has(i int) bool { return m[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (m slotMask) clearAll() {
+	for i := range m {
+		m[i] = 0
+	}
+}
+
+func (m slotMask) copyFrom(o slotMask) { copy(m, o) }
+
 // commitDesc is what the commit-server hands to invalidation-servers: the
-// committer's write signature plus its slot index, so invalidation skips the
-// committer itself (a transaction that reads then writes the same location
-// always self-intersects).
+// epoch's write signature (the union of every batch member's write filter)
+// plus the committer-slot bitmask, so invalidation skips every member of the
+// batch.
 type commitDesc struct {
-	bf        *bloom.Filter
-	committer int
+	bf      *bloom.Filter
+	members slotMask
 }
 
 // System owns the shared state of one STM instance: the global timestamp,
@@ -98,6 +118,17 @@ type System struct {
 // New constructs a System and starts any server goroutines its engine needs.
 // The caller must Close it to stop the servers.
 func New(cfg Config) (*System, error) {
+	s, err := newSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.startServers()
+	return s, nil
+}
+
+// newSystem builds a System without starting its servers. Tests drive the
+// server routines directly for deterministic epoch-level assertions.
+func newSystem(cfg Config) (*System, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -112,6 +143,8 @@ func New(cfg Config) (*System, error) {
 	for i := range s.slots {
 		s.slots[i].readBF = bloom.NewAtomic(cfg.Bloom)
 		s.slots[i].invalServer = i % cfg.InvalServers
+		s.slots[i].selfMask = newSlotMask(cfg.MaxThreads)
+		s.slots[i].selfMask.set(i)
 		s.freeSlots = append(s.freeSlots, cfg.MaxThreads-1-i)
 	}
 
@@ -134,12 +167,16 @@ func New(cfg Config) (*System, error) {
 	case TL2:
 		s.eng = &tl2Engine{sys: s}
 	}
+	return s, nil
+}
 
+// startServers launches the engine's server goroutines.
+func (s *System) startServers() {
 	for _, main := range s.eng.serverMains() {
 		s.wg.Add(1)
 		go func(m func(stop func() bool)) {
 			defer s.wg.Done()
-			if cfg.PinServers {
+			if s.cfg.PinServers {
 				// Dedicate an OS thread to this server, as the paper pins
 				// servers to cores. Unlocked implicitly when the goroutine
 				// exits.
@@ -148,7 +185,6 @@ func New(cfg Config) (*System, error) {
 			m(s.stop.Load)
 		}(main)
 	}
-	return s, nil
 }
 
 // MustNew is New for static configurations; it panics on error.
@@ -245,14 +281,15 @@ func (s *System) release(th *Thread) {
 }
 
 // Stats aggregates statistics from retired threads, live threads, and (after
-// Close) servers. Call it while the system is quiescent; live threads'
-// counters are read without synchronization.
+// Close) servers. Safe to call at any time, including while threads are
+// running transactions: live threads' counters are read atomically (each
+// counter individually; the aggregate is not a single instant).
 func (s *System) Stats() Stats {
 	s.regMu.Lock()
 	defer s.regMu.Unlock()
 	agg := s.retired
 	for th := range s.live {
-		agg.Add(th.stats)
+		agg.Add(th.stats.snapshotAtomic())
 	}
 	return agg
 }
@@ -272,14 +309,15 @@ func (s *System) waitEven() uint64 {
 	}
 }
 
-// invalidateOthers dooms every in-flight transaction (except the committer's
-// slot) whose read signature intersects bf. It returns the number of
-// transactions doomed. Used inline by InvalSTM and RInvalV1's commit-server,
-// and per-partition by the invalidation-servers.
-func (s *System) invalidateOthers(committer int, bf *bloom.Filter) uint64 {
+// invalidateOthers dooms every in-flight transaction outside the skip set
+// whose read signature intersects bf. It returns the number of transactions
+// doomed. Used inline by InvalSTM (skip = the committer's selfMask) and by
+// RInvalV1's commit-server (skip = the epoch's batch members), and
+// per-partition by the invalidation-servers.
+func (s *System) invalidateOthers(skip slotMask, bf *bloom.Filter) uint64 {
 	var doomed uint64
 	for i := range s.slots {
-		if i == committer {
+		if skip.has(i) {
 			continue
 		}
 		doomed += s.invalidateSlot(i, bf)
@@ -289,10 +327,10 @@ func (s *System) invalidateOthers(committer int, bf *bloom.Filter) uint64 {
 
 // invalidatePartition is invalidateOthers restricted to invalidation-server
 // k's partition.
-func (s *System) invalidatePartition(k, committer int, bf *bloom.Filter) uint64 {
+func (s *System) invalidatePartition(k int, skip slotMask, bf *bloom.Filter) uint64 {
 	var doomed uint64
 	for i := k; i < len(s.slots); i += s.cfg.InvalServers {
-		if i == committer {
+		if skip.has(i) {
 			continue
 		}
 		doomed += s.invalidateSlot(i, bf)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 )
 
@@ -36,9 +37,9 @@ type backoffState = interface {
 // ID returns the thread's slot index within the requests array.
 func (th *Thread) ID() int { return th.idx }
 
-// Stats returns a copy of the thread's counters. Call it when the thread is
-// not inside Atomically.
-func (th *Thread) Stats() Stats { return th.stats }
+// Stats returns a copy of the thread's counters. Safe to call at any time:
+// counters are read atomically, each individually.
+func (th *Thread) Stats() Stats { return th.stats.snapshotAtomic() }
 
 // Close releases the thread's slot. It panics if called inside Atomically.
 func (th *Thread) Close() {
@@ -152,8 +153,11 @@ func (tx *Tx) run(fn func(*Tx) error) (err error, conflicted bool) {
 
 // Load returns the transaction's view of v, aborting (via conflictSignal) if
 // the engine detects a conflict.
+//
+// Counter updates here and below are atomic adds so System.Stats can read a
+// live thread's counters without a data race; the thread is the only writer.
 func (tx *Tx) Load(v *Var) any {
-	tx.stats.Reads++
+	atomic.AddUint64(&tx.stats.Reads, 1)
 	if tx.direct {
 		if b, ok := tx.ws.lookup(v); ok {
 			return b.v
@@ -169,7 +173,7 @@ func (tx *Tx) Load(v *Var) any {
 	}
 	b, ok := tx.sys.eng.read(tx, v)
 	if tx.sys.cfg.Stats {
-		tx.stats.ReadNs += uint64(realClock().Sub(t0))
+		atomic.AddUint64(&tx.stats.ReadNs, uint64(realClock().Sub(t0)))
 	}
 	if !ok {
 		panic(conflictSignal{})
@@ -180,7 +184,7 @@ func (tx *Tx) Load(v *Var) any {
 
 // Store buffers a write of val to v; it becomes visible atomically at commit.
 func (tx *Tx) Store(v *Var, val any) {
-	tx.stats.Writes++
+	atomic.AddUint64(&tx.stats.Writes, 1)
 	tx.ws.put(v, &box{v: val})
 }
 
@@ -192,13 +196,13 @@ func (tx *Tx) finishCommit() bool {
 	}
 	ok := tx.sys.eng.commit(tx)
 	if tx.sys.cfg.Stats {
-		tx.stats.CommitNs += uint64(realClock().Sub(t0))
+		atomic.AddUint64(&tx.stats.CommitNs, uint64(realClock().Sub(t0)))
 	}
 	tx.deactivateSlot()
 	if ok {
-		tx.stats.Commits++
+		atomic.AddUint64(&tx.stats.Commits, 1)
 		if tx.ws.len() == 0 {
-			tx.stats.ReadOnly++
+			atomic.AddUint64(&tx.stats.ReadOnly, 1)
 		}
 	}
 	return ok
@@ -213,12 +217,12 @@ func (tx *Tx) onConflictAbort() {
 	}
 	tx.sys.eng.abort(tx)
 	tx.deactivateSlot()
-	tx.stats.Aborts++
+	atomic.AddUint64(&tx.stats.Aborts, 1)
 	if tx.sys.cfg.CM != CMCommitterWins {
 		tx.th.backoff.Pause()
 	}
 	if tx.sys.cfg.Stats {
-		tx.stats.AbortNs += uint64(realClock().Sub(t0))
+		atomic.AddUint64(&tx.stats.AbortNs, uint64(realClock().Sub(t0)))
 	}
 }
 

@@ -107,6 +107,33 @@ func bucketMid(i int) uint64 {
 	return lo + lo/2
 }
 
+// Bucket is one exported histogram bin: Count samples whose values lie in
+// [Lo, Hi]. The bounds are the power-of-two bucket edges.
+type Bucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// NonEmptyBuckets returns the occupied bins in increasing value order — the
+// machine-readable form benchmark JSON reports embed (e.g. the group-commit
+// batch-size distribution).
+func (h *Histogram) NonEmptyBuckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		var lo, hi uint64
+		if i > 0 {
+			lo = uint64(1) << (i - 1)
+			hi = lo<<1 - 1
+		}
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return out
+}
+
 // Merge folds o into h.
 func (h *Histogram) Merge(o *Histogram) {
 	if o.count == 0 {
