@@ -16,6 +16,8 @@
 //	rinval-bench -exp ablTL2           # ablation: coarse family vs TL2
 //	rinval-bench -exp latency -mode live  # per-transaction latency percentiles
 //	rinval-bench -exp groupcommit -mode live -out results/BENCH_group_commit.json
+//	rinval-bench -exp fig7a -mode live -trace out.json   # Perfetto lifecycle trace
+//	rinval-bench -exp fig7a -mode live -metrics :8080    # expvar + pprof endpoint
 //
 // -mode sim (default) runs the deterministic 64-core discrete-event model,
 // which reproduces the paper's shapes on any host. -mode live runs the real
@@ -26,11 +28,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 	"time"
 
 	"github.com/ssrg-vt/rinval/internal/bench"
+	"github.com/ssrg-vt/rinval/internal/obs"
 	"github.com/ssrg-vt/rinval/stm"
 )
+
+// validExps lists every experiment name, in the order the package doc
+// documents them. Keep all three in sync: this list, the doc comment, and
+// the -exp flag help string.
+var validExps = []string{
+	"fig7a", "fig7b", "fig2", "fig3", "fig8",
+	"ablK", "ablSteps", "ablJitter", "ablBloom", "ablReadSet", "ablTL2",
+	"latency", "groupcommit",
+}
 
 func main() {
 	var (
@@ -44,8 +58,28 @@ func main() {
 		svgDir   = flag.String("svg", "", "also render each table as an SVG chart into this directory")
 		out      = flag.String("out", "", "groupcommit: JSON output path (default results/BENCH_group_commit.json)")
 		iters    = flag.Int("iters", 400, "groupcommit: committed transactions per client")
+		trace    = flag.String("trace", "", "live mode: write a Chrome trace-event JSON of the last benchmark point to this path (open in Perfetto)")
+		metrics  = flag.String("metrics", "", "serve expvar and pprof on this address (e.g. :8080) for the duration of the run")
 	)
 	flag.Parse()
+
+	if !slices.Contains(validExps, *exp) {
+		fatal(fmt.Errorf("unknown experiment %q (valid: %s)", *exp, strings.Join(validExps, ", ")))
+	}
+	if *trace != "" {
+		if *mode != "live" {
+			fatal(fmt.Errorf("-trace requires -mode live (sim runs record no lifecycle events)"))
+		}
+		bench.TraceTo(*trace)
+	}
+	if *metrics != "" {
+		addr, shutdown, err := obs.ServeMetrics(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+	}
 
 	if *exp == "groupcommit" {
 		if err := runGroupCommit(*mode, *out, *iters); err != nil {
@@ -81,6 +115,13 @@ func main() {
 			if err := writeSVG(*svgDir, t, *exp); err != nil {
 				fatal(err)
 			}
+		}
+	}
+	// The trace file holds the last benchmark point that ran through the
+	// live rbtree harness; experiments that never touch it write nothing.
+	if *trace != "" {
+		if _, err := os.Stat(*trace); err == nil {
+			fmt.Printf("wrote %s\n", *trace)
 		}
 	}
 }
@@ -188,7 +229,7 @@ func run(exp, mode string, ths []int, app string, dur time.Duration, seed uint64
 		}
 		return []*bench.Table{bench.SimAblationCoarseVsFine(ths, seed)}, nil
 	}
-	return nil, fmt.Errorf("unknown experiment %q", exp)
+	return nil, fmt.Errorf("unknown experiment %q (valid: %s)", exp, strings.Join(validExps, ", "))
 }
 
 // runGroupCommit sweeps the group-commit batching knob on the live RInval

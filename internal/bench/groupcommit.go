@@ -39,6 +39,48 @@ type GroupCommitPoint struct {
 	MeanBatch       float64        `json:"mean_batch"`
 	MaxBatchSeen    uint64         `json:"max_batch_seen"`
 	BatchHistogram  []histo.Bucket `json:"batch_histogram,omitempty"`
+	// Server holds the commit-server's per-epoch phase distributions
+	// (queue depth at batch collection, then the scan, invalidation-wait,
+	// write-back, and reply phases in nanoseconds).
+	Server []PhaseHistogram `json:"server_phases,omitempty"`
+}
+
+// PhaseHistogram is one commit-server phase distribution in the JSON report.
+type PhaseHistogram struct {
+	Phase   string         `json:"phase"`
+	Count   uint64         `json:"count"`
+	Mean    float64        `json:"mean"`
+	Max     uint64         `json:"max"`
+	Buckets []histo.Bucket `json:"buckets,omitempty"`
+}
+
+// phaseHistograms flattens the Stats.Server histograms, skipping empty ones.
+func phaseHistograms(st *stm.Stats) []PhaseHistogram {
+	named := []struct {
+		name string
+		h    *histo.Histogram
+	}{
+		{"queue_depth", &st.Server.QueueDepth},
+		{"scan_ns", &st.Server.ScanNs},
+		{"inval_wait_ns", &st.Server.InvalWaitNs},
+		{"write_back_ns", &st.Server.WriteBackNs},
+		{"reply_ns", &st.Server.ReplyNs},
+		{"step_ahead", &st.Server.StepAhead},
+	}
+	var out []PhaseHistogram
+	for _, n := range named {
+		if n.h.Count() == 0 {
+			continue
+		}
+		out = append(out, PhaseHistogram{
+			Phase:   n.name,
+			Count:   n.h.Count(),
+			Mean:    n.h.Mean(),
+			Max:     n.h.Max(),
+			Buckets: n.h.NonEmptyBuckets(),
+		})
+	}
+	return out
 }
 
 // GroupCommitReport is the full sweep, serialized to BENCH_group_commit.json.
@@ -83,6 +125,9 @@ func runGroupCommitPoint(algo stm.Algo, clients, maxBatch int, o GroupCommitOpts
 		MaxThreads:   clients,
 		InvalServers: min(4, clients),
 		MaxBatch:     maxBatch,
+		// Phase timing on: the sweep's JSON reports the commit-server's
+		// per-epoch scan/inval-wait/write-back/reply distributions.
+		Stats: true,
 	})
 	if err != nil {
 		return GroupCommitPoint{}, err
@@ -152,6 +197,7 @@ func runGroupCommitPoint(algo stm.Algo, clients, maxBatch int, o GroupCommitOpts
 		MeanBatch:      st.BatchSizes.Mean(),
 		MaxBatchSeen:   st.BatchSizes.Max(),
 		BatchHistogram: st.BatchSizes.NonEmptyBuckets(),
+		Server:         phaseHistograms(&st),
 	}
 	if commits > 0 {
 		p.EpochsPerCommit = float64(st.Epochs) / float64(commits)

@@ -52,6 +52,7 @@ func RunRBTree(algo stm.Algo, threads int, o RBTreeOpts) (Row, error) {
 		MaxThreads: threads + 1,
 		Stats:      o.Stats,
 		Seed:       o.Seed,
+		Trace:      tracePath != "",
 	}
 	if o.InvalServers > 0 {
 		cfg.InvalServers = o.InvalServers
@@ -69,6 +70,7 @@ func RunRBTree(algo stm.Algo, threads int, o RBTreeOpts) (Row, error) {
 		return Row{}, err
 	}
 	defer sys.Close()
+	liveSys.Store(sys)
 
 	tree := rbtree.New()
 	setup := sys.MustRegister()
@@ -92,7 +94,7 @@ func RunRBTree(algo stm.Algo, threads int, o RBTreeOpts) (Row, error) {
 	for w := 0; w < threads; w++ {
 		w := w
 		wg.Add(1)
-		go func() {
+		go clientLabeled(w, func() {
 			defer wg.Done()
 			th, err := sys.Register()
 			if err != nil {
@@ -121,7 +123,7 @@ func RunRBTree(algo stm.Algo, threads int, o RBTreeOpts) (Row, error) {
 				// The paper inserts a short no-op delay between operations;
 				// the loop bookkeeping supplies an equivalent gap.
 			}
-		}()
+		})
 	}
 	// Sleep-based stop keeps the measurement window independent of
 	// throughput.
@@ -136,6 +138,9 @@ func RunRBTree(algo stm.Algo, threads int, o RBTreeOpts) (Row, error) {
 	}
 	if err := tree.CheckInvariants(); err != nil {
 		return Row{}, fmt.Errorf("bench: tree corrupted: %w", err)
+	}
+	if err := finishTrace(sys); err != nil {
+		return Row{}, err
 	}
 
 	st := sys.Stats()

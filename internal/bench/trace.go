@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"sync/atomic"
+
+	"github.com/ssrg-vt/rinval/internal/obs"
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// tracePath, when non-empty, makes every live benchmark run with
+// Config.Trace set and write a Chrome trace-event file after it quiesces.
+// Sweeps overwrite the file per point, so it holds the last point run —
+// useful with a single-point invocation (one algo, one thread count).
+var tracePath string
+
+// TraceTo directs live benchmark runs to record lifecycle traces into the
+// Chrome trace-event file at path ("" disables). Not safe to call
+// concurrently with a running benchmark.
+func TraceTo(path string) { tracePath = path }
+
+// liveSys is the most recently started benchmark System, exposed to the
+// expvar metrics endpoint so `-metrics` shows live counters mid-run.
+var liveSys atomic.Pointer[stm.System]
+
+func init() {
+	obs.Publish("stm", func() any {
+		sys := liveSys.Load()
+		if sys == nil {
+			return nil
+		}
+		st := sys.Stats()
+		reasons := map[string]uint64{}
+		for _, r := range obs.AbortReasons {
+			reasons[r.String()] = st.AbortReasons[r]
+		}
+		return map[string]any{
+			"algo":          sys.Algo().String(),
+			"commits":       st.Commits,
+			"aborts":        st.Aborts,
+			"abort_reasons": reasons,
+			"self_aborts":   st.SelfAborts,
+			"invalidations": st.Invalidations,
+			"validations":   st.Validations,
+		}
+	})
+}
+
+// finishTrace closes sys (idempotent; benchmarks also defer Close) and, when
+// TraceTo is active, exports its trace. Closing first quiesces the server
+// goroutines so the export reads stable rings.
+func finishTrace(sys *stm.System) error {
+	liveSys.CompareAndSwap(sys, nil)
+	if tracePath == "" {
+		return nil
+	}
+	if err := sys.Close(); err != nil {
+		return err
+	}
+	tr := sys.Tracer()
+	if tr == nil {
+		return nil
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return fmt.Errorf("bench: trace export: %w", err)
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("bench: trace export: %w", err)
+	}
+	return f.Close()
+}
+
+// clientLabeled runs fn with a pprof goroutine label identifying it as an
+// STM client worker, matching the server-side labels the core applies.
+func clientLabeled(w int, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels("stm-role", fmt.Sprintf("client-%d", w)),
+		func(context.Context) { fn() })
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/ssrg-vt/rinval/internal/bloom"
+	"github.com/ssrg-vt/rinval/internal/obs"
 )
 
 // Algo selects the concurrency-control engine.
@@ -136,9 +137,21 @@ type Config struct {
 	// deployment on machines with spare cores. Counterproductive when
 	// GOMAXPROCS is small, so it is off by default.
 	PinServers bool
-	// Stats enables per-thread phase timing (read/validation, commit, abort).
-	// Timing costs ~two clock reads per operation, so it is off by default.
+	// Stats enables per-thread phase timing (read/validation, commit, abort)
+	// and the commit-server's phase histograms (Stats.Server). Timing costs
+	// ~two clock reads per operation, so it is off by default.
 	Stats bool
+	// Trace enables lifecycle event tracing: every client thread and server
+	// goroutine records begin/read-wait/commit/abort/epoch/invalidation
+	// events with nanosecond timestamps into a fixed-capacity per-actor ring
+	// buffer (internal/obs). Export via System.Tracer (Chrome trace-event
+	// JSON or text summary) after Close. Off by default; when off, the
+	// recording sites are nil-ring no-ops.
+	Trace bool
+	// TraceEvents caps the events retained per actor ring (rounded up to a
+	// power of two; oldest events are overwritten once full). Default 4096,
+	// i.e. 128 KiB per actor.
+	TraceEvents int
 	// Seed makes contention-manager jitter reproducible. Default 1.
 	Seed uint64
 }
@@ -174,6 +187,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.TraceEvents == 0 {
+		c.TraceEvents = obs.DefaultRingEvents
+	}
+	if c.TraceEvents < 16 || c.TraceEvents > 1<<22 {
+		return c, fmt.Errorf("core: TraceEvents %d out of range [16,4Mi]", c.TraceEvents)
 	}
 	if c.MaxThreads < 1 || c.MaxThreads > 4096 {
 		return c, fmt.Errorf("core: MaxThreads %d out of range [1,4096]", c.MaxThreads)

@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"github.com/ssrg-vt/rinval/internal/obs"
 	"github.com/ssrg-vt/rinval/internal/spin"
 )
 
@@ -30,13 +31,18 @@ func (e *invalEngine) read(tx *Tx, v *Var) (*box, bool) {
 // invalRead is the read protocol shared by InvalSTM and the RInval engines.
 // caughtUp, when non-nil, adds the RInvalV2/V3 requirement that the reader's
 // own invalidation-server has processed every prior commit (Algorithm 3,
-// line 28).
+// line 28). Time spent blocked — on an odd timestamp, a lagging server, or
+// an unstable window — is recorded as a read-wait trace span.
 func invalRead(tx *Tx, v *Var, caughtUp func(t uint64) bool) (*box, bool) {
 	sys := tx.sys
 	var w spin.Waiter
+	var tw int64 // trace timestamp of the first blocked sample, if any
 	for {
 		t0 := sys.ts.Load()
 		if t0&1 == 1 || (caughtUp != nil && !caughtUp(t0)) {
+			if tw == 0 {
+				tw = tx.ring.Now()
+			}
 			w.Wait()
 			continue
 		}
@@ -47,10 +53,17 @@ func invalRead(tx *Tx, v *Var, caughtUp func(t uint64) bool) (*box, bool) {
 		// invalidation scan will see the bit.
 		tx.slot.readBF.Add(v.id)
 		if sys.ts.Load() != t0 {
+			if tw == 0 {
+				tw = tx.ring.Now()
+			}
 			w.Wait()
 			continue
 		}
+		if tw != 0 {
+			tx.ring.Span(obs.KReadWait, tw, v.id)
+		}
 		if tx.invalidated() {
+			tx.reason = AbortInvalidated
 			return nil, false
 		}
 		return b, true
@@ -69,6 +82,7 @@ func (e *invalEngine) commit(tx *Tx) bool {
 		return true
 	}
 	if tx.invalidated() {
+		tx.reason = AbortInvalidated
 		return false
 	}
 	if readerBiasedSelfAbort(tx) {
@@ -87,10 +101,11 @@ func (e *invalEngine) commit(tx *Tx) bool {
 	// lock): a commit serialized between our last read and the CAS may have
 	// invalidated us.
 	if tx.invalidated() {
+		tx.reason = AbortInvalidated
 		sys.ts.Store(t) // release without publishing anything
 		return false
 	}
-	atomic.AddUint64(&tx.stats.Invalidations, sys.invalidateOthers(tx.slot.selfMask, tx.ws.bf))
+	atomic.AddUint64(&tx.stats.Invalidations, sys.invalidateOthers(tx.slot.selfMask, tx.ws.bf, tx.ring))
 	tx.ws.writeBack()
 	sys.ts.Store(t + 2)
 	return true
@@ -98,7 +113,7 @@ func (e *invalEngine) commit(tx *Tx) bool {
 
 func (e *invalEngine) abort(tx *Tx) {}
 
-func (e *invalEngine) serverMains() []func(stop func() bool) { return nil }
+func (e *invalEngine) serverTasks() []serverTask { return nil }
 
 func (e *invalEngine) serverStats() Stats { return Stats{} }
 
@@ -113,6 +128,7 @@ func readerBiasedSelfAbort(tx *Tx) bool {
 	}
 	if sys.countConflictingReaders(tx.th.idx, tx.ws.bf) > sys.cfg.ReaderBiasThreshold {
 		atomic.AddUint64(&tx.stats.SelfAborts, 1)
+		tx.reason = AbortSelf
 		return true
 	}
 	return false

@@ -35,6 +35,6 @@ func (e *mutexEngine) abort(tx *Tx) {
 	e.sys.mu.Unlock()
 }
 
-func (e *mutexEngine) serverMains() []func(stop func() bool) { return nil }
+func (e *mutexEngine) serverTasks() []serverTask { return nil }
 
 func (e *mutexEngine) serverStats() Stats { return Stats{} }

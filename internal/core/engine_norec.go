@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"github.com/ssrg-vt/rinval/internal/obs"
 	"github.com/ssrg-vt/rinval/internal/spin"
 )
 
@@ -48,8 +49,10 @@ func (e *norecEngine) read(tx *Tx, v *Var) (*box, bool) {
 
 // revalidate re-checks every read against the current memory state and
 // returns a new even timestamp at which the read set was observed intact.
+// A value mismatch is a validation abort (tx.reason).
 func (e *norecEngine) revalidate(tx *Tx) (uint64, bool) {
 	var w spin.Waiter
+	tv := tx.ring.Now()
 	for {
 		t := e.sys.waitEven()
 		atomic.AddUint64(&tx.stats.Validations, 1)
@@ -65,9 +68,12 @@ func (e *norecEngine) revalidate(tx *Tx) (uint64, bool) {
 		}
 		atomic.AddUint64(&tx.stats.ValidationOps, ops)
 		if !ok {
+			tx.reason = AbortValidation
+			tx.ring.Span(obs.KValidate, tv, ops)
 			return 0, false
 		}
 		if e.sys.ts.Load() == t {
+			tx.ring.Span(obs.KValidate, tv, ops)
 			return t, true
 		}
 		w.Wait()
@@ -97,6 +103,6 @@ func (e *norecEngine) commit(tx *Tx) bool {
 
 func (e *norecEngine) abort(tx *Tx) {}
 
-func (e *norecEngine) serverMains() []func(stop func() bool) { return nil }
+func (e *norecEngine) serverTasks() []serverTask { return nil }
 
 func (e *norecEngine) serverStats() Stats { return Stats{} }

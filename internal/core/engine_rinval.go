@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
+
 	"github.com/ssrg-vt/rinval/internal/bloom"
+	"github.com/ssrg-vt/rinval/internal/obs"
 	"github.com/ssrg-vt/rinval/internal/spin"
 )
 
@@ -51,6 +54,11 @@ type remoteEngine struct {
 
 	commitSrv Stats   // commit-server activity (valid after servers stop)
 	invalSrv  []Stats // per-invalidation-server activity
+
+	// commitRing/invalRings are the servers' trace tracks (nil entries when
+	// tracing is off; every recording call on them is then a no-op).
+	commitRing *obs.Ring
+	invalRings []*obs.Ring
 }
 
 func newRemoteEngine(sys *System, numInval, stepsAhead int) *remoteEngine {
@@ -70,6 +78,13 @@ func newRemoteEngine(sys *System, numInval, stepsAhead int) *remoteEngine {
 	for i := range e.sigBufs {
 		e.sigBufs[i] = bloom.NewFilter(sys.cfg.Bloom)
 		e.memberBufs[i] = newSlotMask(sys.cfg.MaxThreads)
+	}
+	e.invalRings = make([]*obs.Ring, numInval)
+	if sys.tracer != nil {
+		e.commitRing = sys.tracer.AddActor("commit-server")
+		for k := range e.invalRings {
+			e.invalRings[k] = sys.tracer.AddActor(fmt.Sprintf("inval-server-%d", k))
+		}
 	}
 	return e
 }
@@ -98,6 +113,7 @@ func (e *remoteEngine) commit(tx *Tx) bool {
 		return true
 	}
 	if tx.invalidated() {
+		tx.reason = AbortInvalidated
 		return false
 	}
 	if readerBiasedSelfAbort(tx) {
@@ -106,6 +122,7 @@ func (e *remoteEngine) commit(tx *Tx) bool {
 	sl := tx.slot
 	sl.req.Store(&commitReq{ws: tx.ws})
 	sl.state.Store(reqPending)
+	tx.ring.Instant(obs.KCommitReq, 0)
 	var w spin.Waiter
 	for {
 		switch sl.state.Load() {
@@ -116,6 +133,7 @@ func (e *remoteEngine) commit(tx *Tx) bool {
 		case reqAborted:
 			sl.state.Store(reqIdle)
 			sl.req.Store(nil)
+			tx.reason = AbortInvalidated
 			return false
 		}
 		w.Wait()
@@ -124,13 +142,16 @@ func (e *remoteEngine) commit(tx *Tx) bool {
 
 func (e *remoteEngine) abort(tx *Tx) {}
 
-func (e *remoteEngine) serverMains() []func(stop func() bool) {
-	mains := []func(stop func() bool){e.commitServerMain}
+func (e *remoteEngine) serverTasks() []serverTask {
+	tasks := []serverTask{{name: "commit-server", run: e.commitServerMain}}
 	for k := 0; k < e.numInval; k++ {
 		k := k
-		mains = append(mains, func(stop func() bool) { e.invalServerMain(k, stop) })
+		tasks = append(tasks, serverTask{
+			name: fmt.Sprintf("inval-server-%d", k),
+			run:  func(stop func() bool) { e.invalServerMain(k, stop) },
+		})
 	}
-	return mains
+	return tasks
 }
 
 func (e *remoteEngine) serverStats() Stats {
@@ -181,7 +202,32 @@ func (e *remoteEngine) commitServerMain(stop func() bool) {
 // invalidation-server lags) so the caller's scan can back off.
 func (e *remoteEngine) serveEpochFrom(first int) bool {
 	sys := e.sys
+	ring := e.commitRing
+	phases := &e.commitSrv.Server
+	// Phase timestamps cost a clock read each, so they are taken only when
+	// someone consumes them: the phase histograms (cfg.Stats) or the trace
+	// ring. The queue-depth and step-ahead samples are clock-free and
+	// always collected.
+	timing := sys.cfg.Stats || ring != nil
+	var tStart int64
+	if timing {
+		tStart = obs.Now()
+	}
 	t := sys.ts.Load() // even: only this goroutine makes it odd
+
+	if e.numInval > 0 && e.stepsAhead > 0 {
+		// V3 step-ahead occupancy: how many commits this server is running
+		// ahead of the slowest invalidation-server right now.
+		minTS := sys.invalTS[0].Load()
+		for k := 1; k < len(sys.invalTS); k++ {
+			if v := sys.invalTS[k].Load(); v < minTS {
+				minTS = v
+			}
+		}
+		occ := (t - minTS) / 2
+		phases.StepAhead.Record(occ)
+		ring.Counter(obs.KStepAhead, occ)
+	}
 
 	// Collect the batch in array order from the leader onward. A member's
 	// write signature must not intersect the members' write union (W/W) or
@@ -192,11 +238,13 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 	e.batchIdx = e.batchIdx[:0]
 	e.batchWS.Clear()
 	e.batchRS.Clear()
+	pending := uint64(0) // queue depth: every PENDING request the scan saw
 	for j := first; j < len(sys.slots) && len(e.batchIdx) < e.maxBatch; j++ {
 		s := &sys.slots[j]
 		if s.state.Load() != reqPending {
 			continue
 		}
+		pending++
 		if e.numInval > 0 && e.stepsAhead > 0 && sys.invalTS[s.invalServer].Load() < t {
 			// V3: the requester's own server must have applied every prior
 			// commit's invalidation for the ALIVE check below to be
@@ -219,6 +267,17 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 	if len(e.batchIdx) == 0 {
 		return false
 	}
+	phases.QueueDepth.Record(pending)
+	ring.Counter(obs.KQueueDepth, pending)
+	tPrev := tStart // end of the last timed phase
+	if timing {
+		now := obs.Now()
+		if sys.cfg.Stats {
+			phases.ScanNs.Record(uint64(now - tPrev))
+		}
+		ring.SpanAt(obs.KScan, tPrev, now, pending)
+		tPrev = now
+	}
 
 	if e.numInval > 0 {
 		// No invalidation-server may trail by more than stepsAhead commits;
@@ -232,6 +291,14 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 			for sys.invalTS[k].Load()+lagBudget < t {
 				w.Wait()
 			}
+		}
+		if timing {
+			now := obs.Now()
+			if sys.cfg.Stats {
+				phases.InvalWaitNs.Record(uint64(now - tPrev))
+			}
+			ring.SpanAt(obs.KInvalWait, tPrev, now, 0)
+			tPrev = now
 		}
 	}
 
@@ -274,7 +341,18 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 			e.batchMask.set(j)
 		}
 		sys.ts.Add(1)
-		e.commitSrv.Invalidations += sys.invalidateOthers(e.batchMask, e.batchWS)
+		doomed := sys.invalidateOthers(e.batchMask, e.batchWS, e.commitRing)
+		e.commitSrv.Invalidations += doomed
+		if timing {
+			// V1 has no lag wait; the inline scan itself is the
+			// invalidation phase.
+			now := obs.Now()
+			if sys.cfg.Stats {
+				phases.InvalWaitNs.Record(uint64(now - tPrev))
+			}
+			ring.SpanAt(obs.KInvalWait, tPrev, now, doomed)
+			tPrev = now
+		}
 		for _, j := range e.batchIdx {
 			sys.slots[j].req.Load().ws.writeBack()
 		}
@@ -299,8 +377,24 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 		}
 		sys.ts.Add(1)
 	}
+	if timing {
+		now := obs.Now()
+		if sys.cfg.Stats {
+			phases.WriteBackNs.Record(uint64(now - tPrev))
+		}
+		ring.SpanAt(obs.KWriteBack, tPrev, now, uint64(n))
+		tPrev = now
+	}
 	for _, j := range e.batchIdx {
 		sys.slots[j].state.Store(reqCommitted)
+	}
+	if timing {
+		now := obs.Now()
+		if sys.cfg.Stats {
+			phases.ReplyNs.Record(uint64(now - tPrev))
+		}
+		ring.SpanAt(obs.KReply, tPrev, now, uint64(n))
+		ring.SpanAt(obs.KEpoch, tStart, now, uint64(n))
 	}
 	e.commitSrv.Commits += uint64(n)
 	e.commitSrv.Epochs++
@@ -315,6 +409,7 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 func (e *remoteEngine) invalServerMain(k int, stop func() bool) {
 	sys := e.sys
 	st := &e.invalSrv[k]
+	ring := e.invalRings[k]
 	var w spin.Waiter
 	for !stop() {
 		my := sys.invalTS[k].Load()
@@ -322,9 +417,12 @@ func (e *remoteEngine) invalServerMain(k int, stop func() bool) {
 			// The descriptor for base timestamp `my` was published before
 			// the timestamp moved past it, and the commit-server cannot
 			// overwrite it until this server advances (ring bound).
+			t0 := ring.Now()
 			d := sys.ring[(my/2)%uint64(len(sys.ring))].Load()
-			st.Invalidations += sys.invalidatePartition(k, d.members, d.bf)
+			doomed := sys.invalidatePartition(k, d.members, d.bf, ring)
+			st.Invalidations += doomed
 			sys.invalTS[k].Store(my + 2)
+			ring.Span(obs.KInvalScan, t0, doomed)
 			w.Reset()
 		} else {
 			w.Wait()

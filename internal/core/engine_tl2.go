@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"github.com/ssrg-vt/rinval/internal/obs"
 	"github.com/ssrg-vt/rinval/internal/spin"
 )
 
@@ -49,20 +50,31 @@ func (e *tl2Engine) begin(tx *Tx) {
 // read version. TL2 does not extend snapshots: a newer version aborts.
 func (e *tl2Engine) read(tx *Tx, v *Var) (*box, bool) {
 	var w spin.Waiter
+	var tw int64 // trace timestamp of the first blocked sample, if any
 	for i := 0; ; i++ {
 		w1 := v.verlock.Load()
 		if tl2Locked(w1) {
+			if tw == 0 {
+				tw = tx.ring.Now()
+			}
 			if i >= tl2LockSpins {
+				tx.reason = AbortLocked
+				tx.ring.Span(obs.KReadWait, tw, v.id)
 				return nil, false
 			}
 			w.Wait()
 			continue
+		}
+		if tw != 0 {
+			tx.ring.Span(obs.KReadWait, tw, v.id)
+			tw = 0
 		}
 		b := v.loadBox()
 		if v.verlock.Load() != w1 {
 			continue // writer intervened; resample
 		}
 		if tl2Version(w1) > tx.start {
+			tx.reason = AbortValidation
 			return nil, false // too new for our snapshot
 		}
 		return b, true
@@ -112,6 +124,7 @@ func (e *tl2Engine) commit(tx *Tx) bool {
 			w.Wait()
 		}
 		if !acquired {
+			tx.reason = AbortLocked
 			release()
 			return false
 		}
@@ -126,11 +139,13 @@ func (e *tl2Engine) commit(tx *Tx) bool {
 		re := &tx.rs.entries[i]
 		w := re.v.verlock.Load()
 		if tl2Version(w) > tx.start {
+			tx.reason = AbortValidation
 			release()
 			return false
 		}
 		if tl2Locked(w) {
 			if _, mine := tx.ws.lookup(re.v); !mine {
+				tx.reason = AbortValidation
 				release()
 				return false
 			}
@@ -147,6 +162,6 @@ func (e *tl2Engine) commit(tx *Tx) bool {
 
 func (e *tl2Engine) abort(tx *Tx) {}
 
-func (e *tl2Engine) serverMains() []func(stop func() bool) { return nil }
+func (e *tl2Engine) serverTasks() []serverTask { return nil }
 
 func (e *tl2Engine) serverStats() Stats { return Stats{} }

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ssrg-vt/rinval/internal/obs"
+)
+
+// TestAbortReasonsSumToAborts drives every engine through a contended
+// workload plus explicit user aborts and checks the taxonomy invariant: the
+// conflict reasons sum exactly to Aborts, and user aborts land only in the
+// AbortExplicit bucket.
+func TestAbortReasonsSumToAborts(t *testing.T) {
+	forEachAlgo(t, func(t *testing.T, algo Algo) {
+		s := newSys(t, algo, nil)
+		counter := NewVar(0)
+		boom := errors.New("boom")
+		const workers, per, userAbortEvery = 6, 120, 10
+		var wg sync.WaitGroup
+		var userAborts atomic.Uint64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := s.MustRegister()
+				defer th.Close()
+				for i := 0; i < per; i++ {
+					err := th.Atomically(func(tx *Tx) error {
+						tx.Store(counter, tx.Load(counter).(int)+1)
+						if i%userAbortEvery == 0 {
+							return boom
+						}
+						return nil
+					})
+					if errors.Is(err, boom) {
+						userAborts.Add(1)
+					} else if err != nil {
+						t.Errorf("unexpected error: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		st := s.Stats()
+		if got := st.ConflictAborts(); got != st.Aborts {
+			t.Fatalf("conflict reasons sum to %d, Aborts = %d (reasons %v)",
+				got, st.Aborts, st.AbortReasons)
+		}
+		if got := st.AbortReasons[AbortExplicit]; got != userAborts.Load() {
+			t.Fatalf("AbortExplicit = %d, want %d user aborts", got, userAborts.Load())
+		}
+		if algo == Mutex && st.Aborts != 0 {
+			t.Fatalf("mutex engine recorded conflict aborts: %v", st.AbortReasons)
+		}
+	})
+}
+
+// TestConcurrentStatsSnapshots hammers System.Stats and Thread.Stats from a
+// sampler goroutine while transactions run (the -race target for the live
+// snapshot path) and checks that every counter a snapshot reports is
+// monotonic across samples.
+func TestConcurrentStatsSnapshots(t *testing.T) {
+	for _, algo := range []Algo{NOrec, InvalSTM, RInvalV2, TL2} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			s := newSys(t, algo, nil)
+			counter := NewVar(0)
+			var stop atomic.Bool
+
+			const workers, per = 4, 300
+			var ths []*Thread
+			for w := 0; w < workers; w++ {
+				ths = append(ths, s.MustRegister())
+			}
+			var workersWG sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				workersWG.Add(1)
+				go func() {
+					defer workersWG.Done()
+					for i := 0; i < per; i++ {
+						_ = ths[w].Atomically(func(tx *Tx) error {
+							tx.Store(counter, tx.Load(counter).(int)+1)
+							return nil
+						})
+					}
+				}()
+			}
+
+			sample := func(st Stats) [4]uint64 {
+				return [4]uint64{st.Commits, st.Aborts, st.Reads, st.ConflictAborts()}
+			}
+			samplerDone := make(chan struct{})
+			go func() {
+				defer close(samplerDone)
+				var lastSys, lastTh [4]uint64
+				for !stop.Load() {
+					cur := sample(s.Stats())
+					for i := range cur {
+						if cur[i] < lastSys[i] {
+							t.Errorf("System.Stats counter %d went backwards: %d -> %d", i, lastSys[i], cur[i])
+							return
+						}
+					}
+					lastSys = cur
+					curTh := sample(ths[0].Stats())
+					for i := range curTh {
+						if curTh[i] < lastTh[i] {
+							t.Errorf("Thread.Stats counter %d went backwards: %d -> %d", i, lastTh[i], curTh[i])
+							return
+						}
+					}
+					lastTh = curTh
+					// Throttle: an unthrottled sampler starves the workers
+					// of cores on small machines.
+					time.Sleep(200 * time.Microsecond)
+				}
+			}()
+
+			workersWG.Wait()
+			stop.Store(true)
+			<-samplerDone
+			for _, th := range ths {
+				th.Close()
+			}
+			if got := counter.Peek().(int); got != workers*per {
+				t.Fatalf("lost updates: %d != %d", got, workers*per)
+			}
+		})
+	}
+}
+
+// TestTraceLifecycle runs each engine with tracing on and checks the tracer
+// retains per-actor tracks with begin/tx events, server tracks for the
+// remote engines, and a loadable Chrome export.
+func TestTraceLifecycle(t *testing.T) {
+	forEachAlgo(t, func(t *testing.T, algo Algo) {
+		cfg := Config{Algo: algo, MaxThreads: 4, InvalServers: 2, StepsAhead: 2,
+			Trace: true, TraceEvents: 256}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counter := NewVar(0)
+		var wg sync.WaitGroup
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				th := s.MustRegister()
+				defer th.Close()
+				for i := 0; i < 50; i++ {
+					_ = th.Atomically(func(tx *Tx) error {
+						tx.Store(counter, tx.Load(counter).(int)+1)
+						return nil
+					})
+				}
+			}()
+		}
+		wg.Wait()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		tr := s.Tracer()
+		if tr == nil {
+			t.Fatal("Trace enabled but Tracer() is nil")
+		}
+		names := map[string]bool{}
+		for i := 0; i < tr.Actors(); i++ {
+			names[tr.ActorName(i)] = true
+		}
+		if !names["client-0"] {
+			t.Fatalf("missing client track: %v", names)
+		}
+		switch algo {
+		case RInvalV1:
+			if !names["commit-server"] {
+				t.Fatalf("V1 missing commit-server track: %v", names)
+			}
+		case RInvalV2, RInvalV3:
+			if !names["commit-server"] || !names["inval-server-0"] || !names["inval-server-1"] {
+				t.Fatalf("remote engine missing server tracks: %v", names)
+			}
+		}
+		if algo != Mutex && tr.Events() == 0 {
+			t.Fatal("no events recorded")
+		}
+
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var parsed map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+			t.Fatalf("chrome trace not valid JSON: %v", err)
+		}
+		if _, ok := parsed["traceEvents"]; !ok {
+			t.Fatal("chrome trace missing traceEvents")
+		}
+	})
+}
+
+// TestTraceDisabledHasNoTracer checks the default configuration records
+// nothing and exposes no tracer.
+func TestTraceDisabledHasNoTracer(t *testing.T) {
+	s := newSys(t, RInvalV2, nil)
+	th := s.MustRegister()
+	defer th.Close()
+	x := NewVar(0)
+	if err := th.Atomically(func(tx *Tx) error { tx.Store(x, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tracer() != nil {
+		t.Fatal("Tracer() non-nil without Config.Trace")
+	}
+}
+
+func TestTraceEventsValidation(t *testing.T) {
+	if _, err := (Config{Trace: true, TraceEvents: 4}).withDefaults(); err == nil {
+		t.Error("TraceEvents=4 accepted")
+	}
+	if _, err := (Config{Trace: true, TraceEvents: 1 << 23}).withDefaults(); err == nil {
+		t.Error("TraceEvents=8Mi accepted")
+	}
+	c, err := (Config{Trace: true}).withDefaults()
+	if err != nil || c.TraceEvents != obs.DefaultRingEvents {
+		t.Errorf("default TraceEvents = %d, %v", c.TraceEvents, err)
+	}
+}
+
+// TestServerPhaseHistograms checks the commit-server records phase timings
+// when Stats is on and queue-depth samples regardless.
+func TestServerPhaseHistograms(t *testing.T) {
+	for _, algo := range []Algo{RInvalV1, RInvalV2, RInvalV3} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			cfg := Config{Algo: algo, MaxThreads: 4, InvalServers: 2, StepsAhead: 2, Stats: true}
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := NewVar(0)
+			th := s.MustRegister()
+			for i := 0; i < 40; i++ {
+				if err := th.Atomically(func(tx *Tx) error {
+					tx.Store(x, i)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			th.Close()
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st := s.Stats()
+			if st.Server.QueueDepth.Count() == 0 {
+				t.Fatal("no queue-depth samples")
+			}
+			if st.Server.ScanNs.Count() == 0 || st.Server.WriteBackNs.Count() == 0 ||
+				st.Server.ReplyNs.Count() == 0 {
+				t.Fatalf("phase histograms empty: scan=%d wb=%d reply=%d",
+					st.Server.ScanNs.Count(), st.Server.WriteBackNs.Count(), st.Server.ReplyNs.Count())
+			}
+			if algo == RInvalV3 && st.Server.StepAhead.Count() == 0 {
+				t.Fatal("V3 recorded no step-ahead samples")
+			}
+			if algo == RInvalV1 && st.Server.InvalWaitNs.Count() == 0 {
+				t.Fatal("V1 recorded no inline invalidation phase")
+			}
+		})
+	}
+}
+
+// TestAbortReasonConstantsAlias pins the core aliases to the obs taxonomy so
+// a reorder in either package fails loudly.
+func TestAbortReasonConstantsAlias(t *testing.T) {
+	pairs := []struct {
+		core, obs AbortReason
+		name      string
+	}{
+		{AbortInvalidated, obs.AbortInvalidated, "invalidated"},
+		{AbortValidation, obs.AbortValidation, "validation"},
+		{AbortSelf, obs.AbortSelf, "self"},
+		{AbortLocked, obs.AbortLocked, "locked"},
+		{AbortExplicit, obs.AbortExplicit, "explicit"},
+	}
+	for _, p := range pairs {
+		if p.core != p.obs || p.core.String() != p.name {
+			t.Errorf("alias mismatch: %v / %v / %s", p.core, p.obs, p.name)
+		}
+	}
+	if fmt.Sprint(NumAbortReasons) != fmt.Sprint(obs.NumAbortReasons) {
+		t.Error("NumAbortReasons mismatch")
+	}
+}

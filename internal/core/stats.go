@@ -5,6 +5,22 @@ import (
 	"time"
 
 	"github.com/ssrg-vt/rinval/internal/histo"
+	"github.com/ssrg-vt/rinval/internal/obs"
+)
+
+// AbortReason classifies why a transaction attempt failed; it aliases the
+// observability taxonomy so Stats consumers can index AbortReasons without
+// importing internal/obs.
+type AbortReason = obs.AbortReason
+
+// Abort reasons (see the obs package for semantics).
+const (
+	AbortInvalidated = obs.AbortInvalidated
+	AbortValidation  = obs.AbortValidation
+	AbortSelf        = obs.AbortSelf
+	AbortLocked      = obs.AbortLocked
+	AbortExplicit    = obs.AbortExplicit
+	NumAbortReasons  = obs.NumAbortReasons
 )
 
 // Stats aggregates a thread's transactional activity. With Config.Stats
@@ -36,6 +52,12 @@ type Stats struct {
 	Invalidations uint64 // transactions this thread doomed (InvalSTM commits)
 	SelfAborts    uint64 // CMReaderBiased writer self-aborts
 
+	// AbortReasons breaks aborts down by cause, indexed by AbortReason. The
+	// conflict reasons (invalidated, validation, self, locked) sum exactly
+	// to Aborts; the trailing AbortExplicit entry counts user aborts (fn
+	// returned an error), which Aborts excludes.
+	AbortReasons [NumAbortReasons]uint64
+
 	// Epochs counts odd/even timestamp transitions the RInval commit-server
 	// executed. With group commit one epoch can retire a whole batch, so
 	// Epochs <= the server's Commits; the ratio is the batching win.
@@ -43,6 +65,45 @@ type Stats struct {
 	// BatchSizes is the distribution of group-commit batch sizes (one sample
 	// per epoch). Only the commit-server records into it.
 	BatchSizes histo.Histogram
+
+	// Server holds the commit-server's per-epoch phase histograms. Only the
+	// RInval commit-server records into it (read after Close); queue-depth
+	// and step-ahead samples are always collected, the *Ns phases require
+	// Config.Stats (they cost clock reads).
+	Server ServerPhases
+}
+
+// ServerPhases is the commit-server's critical-path breakdown, one histogram
+// sample per group-commit epoch. The phases correspond to the paper's
+// Algorithm 2-4 steps: collect the batch (scan), wait out invalidation-server
+// lag, publish the write sets, reply to the members.
+type ServerPhases struct {
+	// QueueDepth is the number of pending commit requests the epoch's
+	// collection scan observed (including ones it deferred).
+	QueueDepth histo.Histogram
+	// ScanNs is the batch-collection scan duration.
+	ScanNs histo.Histogram
+	// InvalWaitNs is the lag-budget wait for the invalidation-servers
+	// (V2/V3), or the inline invalidation scan (V1).
+	InvalWaitNs histo.Histogram
+	// WriteBackNs is the write-back duration for the whole batch.
+	WriteBackNs histo.Histogram
+	// ReplyNs is the reply fan-out duration.
+	ReplyNs histo.Histogram
+	// StepAhead is the V3 step-ahead occupancy: how many commits the
+	// commit-server was running ahead of the slowest invalidation-server
+	// when each epoch started.
+	StepAhead histo.Histogram
+}
+
+// merge folds o into p.
+func (p *ServerPhases) merge(o *ServerPhases) {
+	p.QueueDepth.Merge(&o.QueueDepth)
+	p.ScanNs.Merge(&o.ScanNs)
+	p.InvalWaitNs.Merge(&o.InvalWaitNs)
+	p.WriteBackNs.Merge(&o.WriteBackNs)
+	p.ReplyNs.Merge(&o.ReplyNs)
+	p.StepAhead.Merge(&o.StepAhead)
 }
 
 // Add accumulates o into s.
@@ -59,8 +120,12 @@ func (s *Stats) Add(o Stats) {
 	s.ValidationOps += o.ValidationOps
 	s.Invalidations += o.Invalidations
 	s.SelfAborts += o.SelfAborts
+	for i := range s.AbortReasons {
+		s.AbortReasons[i] += o.AbortReasons[i]
+	}
 	s.Epochs += o.Epochs
 	s.BatchSizes.Merge(&o.BatchSizes)
+	s.Server.merge(&o.Server)
 }
 
 // snapshotAtomic returns a copy of s safe to take while the owning thread is
@@ -83,8 +148,22 @@ func (s *Stats) snapshotAtomic() Stats {
 		SelfAborts:    atomic.LoadUint64(&s.SelfAborts),
 		Epochs:        atomic.LoadUint64(&s.Epochs),
 	}
+	for i := range s.AbortReasons {
+		out.AbortReasons[i] = atomic.LoadUint64(&s.AbortReasons[i])
+	}
 	out.BatchSizes = s.BatchSizes
+	out.Server = s.Server
 	return out
+}
+
+// ConflictAborts sums the conflict-reason abort counters (excluding
+// AbortExplicit, which counts user aborts); the result equals Aborts.
+func (s *Stats) ConflictAborts() uint64 {
+	var n uint64
+	for r := AbortReason(0); r < obs.NumConflictReasons; r++ {
+		n += s.AbortReasons[r]
+	}
+	return n
 }
 
 // AbortRate returns aborts / (commits + aborts), or 0 when idle.

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
 	"github.com/ssrg-vt/rinval/internal/bloom"
+	"github.com/ssrg-vt/rinval/internal/obs"
 	"github.com/ssrg-vt/rinval/internal/padded"
 	"github.com/ssrg-vt/rinval/internal/spin"
 )
@@ -24,18 +27,27 @@ type engine interface {
 	// read returns the current consistent version of v, or ok=false if the
 	// transaction must abort.
 	read(tx *Tx, v *Var) (b *box, ok bool)
-	// commit attempts to commit tx; false means a conflict abort. Read-only
-	// fast paths are the engine's responsibility.
+	// commit attempts to commit tx; false means a conflict abort (the
+	// engine sets tx.reason before failing). Read-only fast paths are the
+	// engine's responsibility.
 	commit(tx *Tx) bool
 	// abort releases engine resources on any abort path (conflict or user).
 	abort(tx *Tx)
-	// serverMains returns the goroutine bodies the System must run for this
-	// engine (commit-server, invalidation-servers). Each receives a stop
-	// predicate it must poll.
-	serverMains() []func(stop func() bool)
+	// serverTasks returns the named goroutine bodies the System must run
+	// for this engine (commit-server, invalidation-servers). Each body
+	// receives a stop predicate it must poll; the name labels the goroutine
+	// in pprof profiles and trace exports.
+	serverTasks() []serverTask
 	// serverStats returns activity the servers performed on behalf of
 	// clients (e.g. invalidations executed remotely). Valid after Close.
 	serverStats() Stats
+}
+
+// serverTask is one engine server goroutine: its run loop plus the stable
+// name used for pprof goroutine labels and tracer tracks.
+type serverTask struct {
+	name string
+	run  func(stop func() bool)
 }
 
 // slotMask is a bitmask over request-slot indices: the skip set an
@@ -96,6 +108,11 @@ type System struct {
 
 	eng engine
 
+	// tracer records lifecycle events when cfg.Trace is set; nil otherwise.
+	// Actors 0..MaxThreads-1 are the client slots; engines append their
+	// server tracks at construction.
+	tracer *obs.Tracer
+
 	regMu     sync.Mutex
 	freeSlots []int
 	live      map[*Thread]struct{}
@@ -151,6 +168,15 @@ func newSystem(cfg Config) (*System, error) {
 	s.invalTS = make([]padded.Uint64, cfg.InvalServers)
 	s.ring = make([]padded.Pointer[commitDesc], cfg.StepsAhead+1)
 
+	if cfg.Trace {
+		// Client tracks first (track i == slot i); engine constructors
+		// append their server tracks below.
+		s.tracer = obs.NewTracer(cfg.TraceEvents)
+		for i := 0; i < cfg.MaxThreads; i++ {
+			s.tracer.AddActor(fmt.Sprintf("client-%d", i))
+		}
+	}
+
 	switch cfg.Algo {
 	case Mutex:
 		s.eng = &mutexEngine{sys: s}
@@ -170,11 +196,13 @@ func newSystem(cfg Config) (*System, error) {
 	return s, nil
 }
 
-// startServers launches the engine's server goroutines.
+// startServers launches the engine's server goroutines, each labeled with
+// its task name so CPU/goroutine profiles attribute server time separately
+// from client time.
 func (s *System) startServers() {
-	for _, main := range s.eng.serverMains() {
+	for _, task := range s.eng.serverTasks() {
 		s.wg.Add(1)
-		go func(m func(stop func() bool)) {
+		go func(t serverTask) {
 			defer s.wg.Done()
 			if s.cfg.PinServers {
 				// Dedicate an OS thread to this server, as the paper pins
@@ -182,8 +210,9 @@ func (s *System) startServers() {
 				// exits.
 				runtime.LockOSThread()
 			}
-			m(s.stop.Load)
-		}(main)
+			pprof.Do(context.Background(), pprof.Labels("stm-role", t.name),
+				func(context.Context) { t.run(s.stop.Load) })
+		}(task)
 	}
 }
 
@@ -252,6 +281,9 @@ func (s *System) Register() (*Thread, error) {
 		ws:    newWriteSet(s.cfg.Bloom),
 		stats: &th.stats,
 	}
+	if s.tracer != nil {
+		th.tx.ring = s.tracer.Ring(idx)
+	}
 	th.backoff = spin.NewBackoff(time.Microsecond, 128*time.Microsecond, s.cfg.Seed+uint64(idx)*0x9e37)
 	s.live[th] = struct{}{}
 	return th, nil
@@ -297,6 +329,12 @@ func (s *System) Stats() Stats {
 // Timestamp returns the current global timestamp (for tests and diagnostics).
 func (s *System) Timestamp() uint64 { return s.ts.Load() }
 
+// Tracer returns the lifecycle event tracer, or nil when Config.Trace is
+// off. Export methods (WriteChromeTrace, Summary) must only be called after
+// the recording goroutines have quiesced — after Close, or with all threads
+// idle.
+func (s *System) Tracer() *obs.Tracer { return s.tracer }
+
 // waitEven spins until the global timestamp is even and returns it.
 func (s *System) waitEven() uint64 {
 	var w spin.Waiter
@@ -313,27 +351,28 @@ func (s *System) waitEven() uint64 {
 // whose read signature intersects bf. It returns the number of transactions
 // doomed. Used inline by InvalSTM (skip = the committer's selfMask) and by
 // RInvalV1's commit-server (skip = the epoch's batch members), and
-// per-partition by the invalidation-servers.
-func (s *System) invalidateOthers(skip slotMask, bf *bloom.Filter) uint64 {
+// per-partition by the invalidation-servers. Each doom is recorded on the
+// invalidator's trace ring (nil when tracing is off).
+func (s *System) invalidateOthers(skip slotMask, bf *bloom.Filter, ring *obs.Ring) uint64 {
 	var doomed uint64
 	for i := range s.slots {
 		if skip.has(i) {
 			continue
 		}
-		doomed += s.invalidateSlot(i, bf)
+		doomed += s.invalidateSlot(i, bf, ring)
 	}
 	return doomed
 }
 
 // invalidatePartition is invalidateOthers restricted to invalidation-server
 // k's partition.
-func (s *System) invalidatePartition(k int, skip slotMask, bf *bloom.Filter) uint64 {
+func (s *System) invalidatePartition(k int, skip slotMask, bf *bloom.Filter, ring *obs.Ring) uint64 {
 	var doomed uint64
 	for i := k; i < len(s.slots); i += s.cfg.InvalServers {
 		if skip.has(i) {
 			continue
 		}
-		doomed += s.invalidateSlot(i, bf)
+		doomed += s.invalidateSlot(i, bf, ring)
 	}
 	return doomed
 }
@@ -341,7 +380,7 @@ func (s *System) invalidatePartition(k int, skip slotMask, bf *bloom.Filter) uin
 // invalidateSlot applies the doom check to one slot. The status word is
 // captured before the filter intersection so the CAS can only doom the exact
 // transaction incarnation whose bits were observed.
-func (s *System) invalidateSlot(i int, bf *bloom.Filter) uint64 {
+func (s *System) invalidateSlot(i int, bf *bloom.Filter, ring *obs.Ring) uint64 {
 	sl := &s.slots[i]
 	if !sl.inUse.Load() {
 		return 0
@@ -354,6 +393,7 @@ func (s *System) invalidateSlot(i int, bf *bloom.Filter) uint64 {
 		return 0
 	}
 	if sl.tryInvalidate(w) {
+		ring.Instant(obs.KInval, uint64(i))
 		return 1
 	}
 	return 0

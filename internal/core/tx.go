@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"github.com/ssrg-vt/rinval/internal/obs"
 )
 
 // conflictSignal unwinds a transaction body when the engine detects a
@@ -107,6 +109,15 @@ type Tx struct {
 	attempts int
 	stats    *Stats
 	direct   bool // Mutex engine: operate on Vars directly under the lock
+
+	// reason records why the current attempt is failing; every engine
+	// conflict path sets it before returning/panicking, and the abort
+	// bookkeeping charges the matching Stats.AbortReasons counter.
+	reason AbortReason
+	// ring is this thread's lifecycle trace ring (nil unless Config.Trace).
+	ring *obs.Ring
+	// traceT0 is the attempt's begin timestamp on the trace clock.
+	traceT0 int64
 }
 
 // Attempt returns the 1-based attempt number of the current execution, so
@@ -121,6 +132,9 @@ func (tx *Tx) begin() {
 	tx.attempts++
 	tx.rs.reset()
 	tx.ws.reset()
+	tx.reason = AbortInvalidated // engines overwrite at their abort sites
+	tx.traceT0 = tx.ring.Now()
+	tx.ring.InstantAt(obs.KBegin, tx.traceT0, uint64(tx.attempts))
 	if tx.sys.eng.usesSlots() {
 		// Order matters: clear the read signature while the slot is not
 		// alive, then publish the new (epoch, ALIVE) word. A server holding
@@ -194,6 +208,7 @@ func (tx *Tx) finishCommit() bool {
 	if tx.sys.cfg.Stats {
 		t0 = realClock()
 	}
+	tc := tx.ring.Now()
 	ok := tx.sys.eng.commit(tx)
 	if tx.sys.cfg.Stats {
 		atomic.AddUint64(&tx.stats.CommitNs, uint64(realClock().Sub(t0)))
@@ -204,12 +219,15 @@ func (tx *Tx) finishCommit() bool {
 		if tx.ws.len() == 0 {
 			atomic.AddUint64(&tx.stats.ReadOnly, 1)
 		}
+		tx.ring.Span(obs.KCommit, tc, 0)
+		tx.ring.Span(obs.KTx, tx.traceT0, obs.OutcomeCommit)
 	}
 	return ok
 }
 
 // onConflictAbort rolls back after a conflict and applies the contention
-// manager's retry policy.
+// manager's retry policy. The engine set tx.reason at the conflict site;
+// the per-reason counter keeps the taxonomy in lockstep with Aborts.
 func (tx *Tx) onConflictAbort() {
 	var t0 time.Time
 	if tx.sys.cfg.Stats {
@@ -218,6 +236,9 @@ func (tx *Tx) onConflictAbort() {
 	tx.sys.eng.abort(tx)
 	tx.deactivateSlot()
 	atomic.AddUint64(&tx.stats.Aborts, 1)
+	atomic.AddUint64(&tx.stats.AbortReasons[tx.reason], 1)
+	tx.ring.Span(obs.KTx, tx.traceT0, obs.OutcomeAbort)
+	tx.ring.Instant(obs.KAbort, uint64(tx.reason))
 	if tx.sys.cfg.CM != CMCommitterWins {
 		tx.th.backoff.Pause()
 	}
@@ -226,10 +247,14 @@ func (tx *Tx) onConflictAbort() {
 	}
 }
 
-// onUserAbort rolls back after the user function returned an error.
+// onUserAbort rolls back after the user function returned an error. User
+// aborts are not conflicts: they skip Aborts and count under AbortExplicit.
 func (tx *Tx) onUserAbort() {
 	tx.sys.eng.abort(tx)
 	tx.deactivateSlot()
+	atomic.AddUint64(&tx.stats.AbortReasons[AbortExplicit], 1)
+	tx.ring.Span(obs.KTx, tx.traceT0, obs.OutcomeUserAbort)
+	tx.ring.Instant(obs.KAbort, uint64(AbortExplicit))
 }
 
 // deactivateSlot retires the slot's status word so servers stop considering

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array, the format
+// understood by Perfetto and chrome://tracing. Timestamps and durations are
+// microseconds (floats, so nanosecond precision survives).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const tracePID = 1 // one process: the STM instance
+
+// WriteChromeTrace serializes every ring as Chrome trace-event JSON: one
+// track (tid) per actor, named via thread_name metadata, span kinds as "X"
+// complete events, instants as thread-scoped "i" events, and queue-depth /
+// step-ahead samples as "C" counter events. Abort instants carry their
+// reason name in args. Call only after the writers have quiesced (after
+// System.Close, or with tracing paused).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	var evs []chromeEvent
+	for tid := range t.rings {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  tracePID,
+			TID:  tid,
+			Args: map[string]any{"name": t.names[tid]},
+		})
+		for _, e := range t.rings[tid].Snapshot() {
+			evs = append(evs, chromeify(e, tid))
+		}
+	}
+	// Stable time order helps diffing and some strict viewers; metadata
+	// events (ts 0) naturally sort first.
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+	b, err := json.Marshal(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ns"})
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// chromeify maps one ring event to its trace-viewer representation.
+func chromeify(e Event, tid int) chromeEvent {
+	out := chromeEvent{
+		Name: e.Kind.String(),
+		TS:   float64(e.TS) / 1e3,
+		PID:  tracePID,
+		TID:  tid,
+	}
+	switch {
+	case e.Kind.isCounter():
+		out.Ph = "C"
+		out.Args = map[string]any{"value": e.Arg}
+	case e.Dur > 0:
+		out.Ph = "X"
+		d := float64(e.Dur) / 1e3
+		out.Dur = &d
+		out.Args = spanArgs(e)
+	default:
+		out.Ph = "i"
+		out.S = "t"
+		out.Args = instantArgs(e)
+	}
+	return out
+}
+
+// spanArgs decodes a span event's Arg into named viewer arguments.
+func spanArgs(e Event) map[string]any {
+	switch e.Kind {
+	case KTx:
+		switch e.Arg {
+		case OutcomeCommit:
+			return map[string]any{"outcome": "commit"}
+		case OutcomeUserAbort:
+			return map[string]any{"outcome": "user-abort"}
+		default:
+			return map[string]any{"outcome": "abort"}
+		}
+	case KEpoch:
+		return map[string]any{"batch": e.Arg}
+	case KScan:
+		return map[string]any{"pending": e.Arg}
+	case KValidate:
+		return map[string]any{"entries": e.Arg}
+	case KInvalScan, KInvalWait:
+		return map[string]any{"doomed": e.Arg}
+	case KReadWait:
+		return map[string]any{"var": e.Arg}
+	}
+	return nil
+}
+
+// instantArgs decodes an instant event's Arg.
+func instantArgs(e Event) map[string]any {
+	switch e.Kind {
+	case KAbort:
+		return map[string]any{"reason": AbortReason(e.Arg).String()}
+	case KInval:
+		return map[string]any{"victim": e.Arg}
+	case KBegin:
+		return map[string]any{"attempt": e.Arg}
+	}
+	return nil
+}
+
+// Summary writes an aligned per-actor digest of the rings: event counts and
+// cumulative span time by kind. A cheap sanity view when a full trace viewer
+// is overkill.
+func (t *Tracer) Summary(w io.Writer) {
+	fmt.Fprintf(w, "%-18s %-14s %10s %14s %12s\n", "actor", "event", "count", "total", "dropped")
+	for tid, r := range t.rings {
+		events := r.Snapshot()
+		if len(events) == 0 {
+			continue
+		}
+		var count [numKinds]uint64
+		var total [numKinds]int64
+		for _, e := range events {
+			count[e.Kind]++
+			total[e.Kind] += e.Dur
+		}
+		first := true
+		for k := Kind(0); k < numKinds; k++ {
+			if count[k] == 0 {
+				continue
+			}
+			name, dropped := "", ""
+			if first {
+				name = t.names[tid]
+				if d := r.Dropped(); d > 0 {
+					dropped = fmt.Sprintf("%d", d)
+				}
+				first = false
+			}
+			tot := "-"
+			if total[k] > 0 {
+				tot = fmt.Sprintf("%.3fms", float64(total[k])/1e6)
+			}
+			fmt.Fprintf(w, "%-18s %-14s %10d %14s %12s\n", name, k, count[k], tot, dropped)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"sync"
+)
+
+// published guards against duplicate expvar names (expvar.Publish panics on
+// re-registration, which would otherwise make repeated benchmark runs in one
+// process fatal).
+var (
+	publishMu sync.Mutex
+	published = map[string]bool{}
+)
+
+// Publish registers fn under name on the process-wide expvar registry,
+// idempotently: re-publishing an existing name replaces nothing and is not
+// an error (the first registration's func pointer keeps serving, which is
+// fine for the snapshot closures this package is used with).
+func Publish(name string, fn func() any) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if published[name] {
+		return
+	}
+	published[name] = true
+	expvar.Publish(name, expvar.Func(fn))
+}
+
+// ServeMetrics binds addr and serves the standard observability endpoints:
+//
+//	/debug/vars          expvar (all Published funcs + Go runtime vars)
+//	/debug/pprof/...     net/http/pprof (profiles carry the goroutine
+//	                     labels core sets on client/server goroutines)
+//
+// It returns the bound address (useful with ":0") and a shutdown func. The
+// server runs until the process exits or the shutdown func is called.
+func ServeMetrics(addr string) (string, func() error, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // shutdown path returns ErrServerClosed
+	return ln.Addr().String(), func() error { return srv.Close() }, nil
+}

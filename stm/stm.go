@@ -35,6 +35,7 @@ package stm
 
 import (
 	"github.com/ssrg-vt/rinval/internal/core"
+	"github.com/ssrg-vt/rinval/internal/obs"
 )
 
 // Config parameterizes a System. The zero value selects NOrec with 64
@@ -74,6 +75,25 @@ const (
 // Stats aggregates transactional activity; see the field documentation on
 // the aliased type.
 type Stats = core.Stats
+
+// AbortReason classifies why a transaction attempt aborted; see
+// Stats.AbortReasons.
+type AbortReason = core.AbortReason
+
+// Abort reasons. The conflict reasons (the first four) sum to Stats.Aborts;
+// AbortExplicit counts user aborts, which Stats.Aborts excludes.
+const (
+	AbortInvalidated = core.AbortInvalidated
+	AbortValidation  = core.AbortValidation
+	AbortSelf        = core.AbortSelf
+	AbortLocked      = core.AbortLocked
+	AbortExplicit    = core.AbortExplicit
+	NumAbortReasons  = core.NumAbortReasons
+)
+
+// Tracer is the lifecycle-event trace collected when Config.Trace is set;
+// see System.Tracer.
+type Tracer = obs.Tracer
 
 // System is one STM instance: a global timestamp domain, a cache-aligned
 // requests array, and (for the RInval engines) the commit/invalidation
@@ -129,6 +149,11 @@ func (s *System) Stats() Stats { return s.sys.Stats() }
 
 // Algo returns the engine this system runs.
 func (s *System) Algo() Algo { return s.sys.Algo() }
+
+// Tracer returns the lifecycle-event trace, or nil when Config.Trace is
+// unset. Export it (WriteChromeTrace, Summary) only after the system has
+// quiesced — after Close, or with all threads idle.
+func (s *System) Tracer() *Tracer { return s.sys.Tracer() }
 
 // Config returns the effective configuration.
 func (s *System) Config() Config { return s.sys.Config() }
