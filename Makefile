@@ -1,22 +1,27 @@
 GO ?= go
 
-.PHONY: verify build test vet race bench-groupcommit
+.PHONY: verify build test vet lint race bench-groupcommit
 
-## verify: the full pre-merge gate — vet, build, tests, and the race
-## detector over the packages with real concurrency.
-verify: vet build test race
+## verify: the full pre-merge gate — vet, the invariant linter, build, tests,
+## and the race detector over the packages with real concurrency.
+verify: vet lint build test race
 
 vet:
 	$(GO) vet ./...
+
+## lint: machine-check the STM's concurrency invariants (mixed atomic/plain
+## access, cache-line padding, *Tx escape, abort taxonomy, hot-path hygiene).
+lint:
+	$(GO) run ./cmd/stmlint ./...
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/core/ ./stm/
+	$(GO) test -race -count=1 ./internal/core/ ./stm/ ./internal/obs/ ./internal/bloom/ ./internal/padded/
 
 ## bench-groupcommit: regenerate results/BENCH_group_commit.json (live mode).
 bench-groupcommit:

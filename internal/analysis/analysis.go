@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	// Pos locates the violation (file:line:col, file relative to the walk).
+	Pos token.Position
+	// Check names the check that produced the diagnostic.
+	Check string
+	// Message explains the violation and, where useful, the conflicting
+	// location.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Check is one self-contained invariant checker. Checks register themselves
+// in an init function (see the check_*.go files) so cmd/stmlint picks up new
+// checks without wiring.
+type Check struct {
+	// Name is the stable identifier used by -checks and in diagnostics.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Run reports every violation in m through report.
+	Run func(m *Module, report ReportFunc)
+}
+
+// ReportFunc records one diagnostic at pos.
+type ReportFunc func(pos token.Pos, format string, args ...any)
+
+var registry []*Check
+
+// RegisterCheck adds c to the suite. Called from init functions only.
+func RegisterCheck(c *Check) {
+	for _, existing := range registry {
+		if existing.Name == c.Name {
+			panic("analysis: duplicate check " + c.Name)
+		}
+	}
+	registry = append(registry, c)
+}
+
+// AllChecks returns the registered checks sorted by name.
+func AllChecks() []*Check {
+	out := make([]*Check, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SelectChecks resolves a comma-separated name list ("" or "all" selects
+// everything).
+func SelectChecks(names string) ([]*Check, error) {
+	if names == "" || names == "all" {
+		return AllChecks(), nil
+	}
+	byName := make(map[string]*Check)
+	for _, c := range registry {
+		byName[c.Name] = c
+	}
+	var out []*Check
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown check %q (have %s)", name, checkNames())
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func checkNames() string {
+	var names []string
+	for _, c := range AllChecks() {
+		names = append(names, c.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// Run executes checks over m and returns the diagnostics sorted by position.
+func Run(m *Module, checks []*Check) []Diagnostic {
+	var diags []Diagnostic
+	for _, c := range checks {
+		c := c
+		report := func(pos token.Pos, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Pos:     m.Fset.Position(pos),
+				Check:   c.Name,
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
+		c.Run(m, report)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}
+
+// ---- shared AST/type helpers used by several checks ----
+
+// unwrap strips parentheses.
+func unwrap(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// fieldOf resolves e (after stripping parens and element indexing) to the
+// struct field it selects, or nil. `s.f`, `s.f[i]`, and `(&s.f[i])`'s inner
+// expression all resolve to field f.
+func fieldOf(info *types.Info, e ast.Expr) (*types.Var, *ast.SelectorExpr) {
+	for {
+		e = unwrap(e)
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			e = ix.X
+			continue
+		}
+		break
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v, sel
+}
+
+// isPointer reports whether t is (after unaliasing) a pointer type.
+func isPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// sharedDest reports whether the l-value e may designate memory shared with
+// other goroutines, as opposed to a function-private copy. The heuristic:
+// an access chain rooted at a local, non-pointer variable and traversing
+// only value (struct/array) links stays within a private copy; any pointer
+// dereference, slice/map element, or package-level root can reach shared
+// memory. This is deliberately conservative in the unknown cases.
+func sharedDest(info *types.Info, e ast.Expr) bool {
+	e = unwrap(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level variable
+		}
+		return isPointer(v.Type())
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if isPointer(info.TypeOf(e.X)) {
+				return true // implicit dereference
+			}
+			return sharedDest(info, e.X)
+		}
+		return true // qualified identifier (pkg.Var) or method value
+	case *ast.IndexExpr:
+		switch info.TypeOf(e.X).Underlying().(type) {
+		case *types.Array:
+			return sharedDest(info, e.X)
+		default:
+			return true // slice, map, or pointer-to-array element
+		}
+	case *ast.StarExpr:
+		return true
+	case *ast.CompositeLit, *ast.CallExpr, *ast.BasicLit, *ast.FuncLit:
+		return false // fresh value
+	default:
+		return true
+	}
+}
+
+// namedOrigin returns the origin named type of t (unaliased, with any type
+// instantiation stripped), or nil.
+func namedOrigin(t types.Type) *types.Named {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n.Origin()
+}
+
+// pkgNameOf returns the name of the package that defines named type t, or "".
+func pkgNameOf(t types.Type) string {
+	n := namedOrigin(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Name()
+}
+
+// funcDirective reports whether fn's doc comment carries the //stm:<name>
+// directive.
+func funcDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == "//stm:"+name {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call expression to the function or method object it
+// invokes, or nil (builtins, function-typed variables, type conversions).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fe := unwrap(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.ObjectOf(fe).(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.ObjectOf(fe.Sel).(*types.Func)
+		return f
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if id, ok := unwrap(fe.X).(*ast.Ident); ok {
+			f, _ := info.ObjectOf(id).(*types.Func)
+			return f
+		}
+	}
+	return nil
+}

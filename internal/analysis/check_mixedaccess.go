@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The mixed-access check enforces the single most fragile convention in the
+// STM: a struct field that is accessed through sync/atomic anywhere must be
+// accessed through sync/atomic everywhere it can alias shared memory. A
+// plain load racing an atomic add is the race class that has bitten NOrec
+// and TL2 ports repeatedly — it is invisible to go vet, and the race
+// detector only sees it on schedules that actually interleave the two sites.
+//
+// Heuristics, stated explicitly:
+//
+//   - A field counts as "atomic" when its address (or an element's address,
+//     for array fields) is passed to a sync/atomic Load/Store/Add/Swap/
+//     CompareAndSwap function anywhere in the module.
+//   - Plain accesses are reported only in packages that themselves contain
+//     an atomic access to the field: the shared live instances are confined
+//     to those packages, while other packages receive snapshots by value.
+//   - Accesses that provably target a function-private copy (an access chain
+//     rooted at a local non-pointer variable, traversing only struct/array
+//     value links) are exempt — a copy cannot race with the shared original.
+//   - Ranging over (or taking len/cap of) an array-typed field reads only
+//     its compile-time length and is exempt.
+func init() {
+	RegisterCheck(&Check{
+		Name: "mixed-access",
+		Doc:  "fields accessed through sync/atomic must not also be read or written plainly",
+		Run:  runMixedAccess,
+	})
+}
+
+func runMixedAccess(m *Module, report ReportFunc) {
+	type fieldInfo struct {
+		firstAtomic token.Pos
+		pkgs        map[*Package]bool
+	}
+	atomicFields := make(map[*types.Var]*fieldInfo)
+	atomicSels := make(map[*ast.SelectorExpr]bool) // selector nodes consumed by atomic calls
+	lenSels := make(map[*ast.SelectorExpr]bool)    // selectors whose only use is static length
+
+	// Pass 1: collect atomically accessed fields and the benign
+	// length-only uses.
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if isAtomicCall(p.Info, n) {
+						for _, arg := range n.Args {
+							u, ok := unwrap(arg).(*ast.UnaryExpr)
+							if !ok || u.Op != token.AND {
+								continue
+							}
+							fld, sel := fieldOf(p.Info, u.X)
+							if fld == nil {
+								continue
+							}
+							fi := atomicFields[fld]
+							if fi == nil {
+								fi = &fieldInfo{firstAtomic: sel.Pos(), pkgs: make(map[*Package]bool)}
+								atomicFields[fld] = fi
+							}
+							fi.pkgs[p] = true
+							atomicSels[sel] = true
+						}
+					}
+					if isLenOrCap(p.Info, n) && len(n.Args) == 1 {
+						if sel, ok := unwrap(n.Args[0]).(*ast.SelectorExpr); ok && isArrayExpr(p.Info, sel) {
+							lenSels[sel] = true
+						}
+					}
+				case *ast.RangeStmt:
+					if sel, ok := unwrap(n.X).(*ast.SelectorExpr); ok && isArrayExpr(p.Info, sel) {
+						lenSels[sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: report plain accesses to those fields in the packages that
+	// hold the shared instances.
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicSels[sel] || lenSels[sel] {
+					return true
+				}
+				s, ok := p.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				fld, _ := s.Obj().(*types.Var)
+				fi := atomicFields[fld]
+				if fi == nil || !fi.pkgs[p] {
+					return true
+				}
+				if !sharedDest(p.Info, sel) {
+					return true // access confined to a private copy
+				}
+				first := m.Fset.Position(fi.firstAtomic)
+				report(sel.Pos(), "field %s.%s is accessed with sync/atomic at %s:%d but plainly here",
+					recvTypeName(s.Recv()), fld.Name(), shortFile(first.Filename), first.Line)
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicCall reports whether call invokes a pointer-taking sync/atomic
+// function (LoadUint64, AddUint64, CompareAndSwapUint32, ...).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	name := fn.Name()
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// isLenOrCap reports whether call is the builtin len or cap.
+func isLenOrCap(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := unwrap(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.ObjectOf(id).(*types.Builtin)
+	return ok && (b.Name() == "len" || b.Name() == "cap")
+}
+
+// isArrayExpr reports whether e has a (fixed-size) array type.
+func isArrayExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Array)
+	return ok
+}
+
+// recvTypeName renders the receiver type of a field selection compactly.
+func recvTypeName(t types.Type) string {
+	if n := namedOrigin(t); n != nil {
+		return n.Obj().Name()
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return recvTypeName(p.Elem())
+	}
+	return t.String()
+}
+
+// shortFile trims a path to its last two segments for readable diagnostics.
+func shortFile(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return strings.Join(parts, "/")
+}

@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"go/constant"
+	"go/types"
+)
+
+// The padding check proves the cache-line geometry the RInval protocol's
+// performance argument assumes. Clients spin on per-slot mailboxes; the
+// whole point of the requests array (paper Figure 5) is that a server's
+// store to one client's line never invalidates the line another client is
+// spinning on. That only holds if
+//
+//   - every cell type in internal/padded is a whole number of cache lines,
+//     so arrays of cells keep successive cells on distinct lines, and
+//   - each cell's payload field has enough padding on both sides that no
+//     mutable neighbor can land on the payload's line at any allocation
+//     alignment (lead/trail >= line − sizeof(payload), since the payload's
+//     own alignment quantizes where line boundaries can fall), and
+//   - every struct embedding padded cells that is used as a slice/array
+//     element (the per-slot structs of slot.go) is itself a multiple of the
+//     line size, so the padding survives array indexing.
+//
+// Sizes come from go/types.Sizes for the gc compiler on the current
+// GOARCH — the same layout algorithm the compiler uses — so a padding
+// regression fails the lint before it ever reaches a benchmark.
+func init() {
+	RegisterCheck(&Check{
+		Name: "padding",
+		Doc:  "cache-padded cells and per-slot structs must be whole cache lines with isolated payloads",
+		Run:  runPadding,
+	})
+}
+
+func runPadding(m *Module, report ReportFunc) {
+	line := int64(64)
+	// Honor the padded package's own CacheLineSize constant if present.
+	for _, p := range m.Pkgs {
+		if p.Types.Name() != "padded" {
+			continue
+		}
+		if c, ok := p.Types.Scope().Lookup("CacheLineSize").(*types.Const); ok {
+			if v, exact := constInt64(c); exact {
+				line = v
+			}
+		}
+	}
+
+	// Rule 1: every named struct in a package named "padded".
+	for _, p := range m.Pkgs {
+		if p.Types.Name() != "padded" {
+			continue
+		}
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			inst, ok := instantiateForSizing(named)
+			if !ok {
+				continue
+			}
+			checkPaddedStruct(m, report, tn, inst, st, line)
+		}
+	}
+
+	// Rule 2: structs embedding padded cells, used as slice/array elements.
+	reported := make(map[*types.TypeName]bool)
+	for _, p := range m.Pkgs {
+		for _, tv := range p.Info.Types {
+			var elem types.Type
+			switch u := tv.Type.Underlying().(type) {
+			case *types.Slice:
+				elem = u.Elem()
+			case *types.Array:
+				elem = u.Elem()
+			default:
+				continue
+			}
+			named := namedOrigin(elem)
+			if named == nil || named.Obj().Pkg() == nil || !isModulePkg(m, named.Obj().Pkg()) {
+				continue
+			}
+			if reported[named.Obj()] || named.Obj().Pkg().Name() == "padded" {
+				continue // padded's own types are covered by rule 1
+			}
+			if _, ok := elem.Underlying().(*types.Struct); !ok {
+				continue
+			}
+			if !containsPaddedCell(elem, make(map[types.Type]bool)) {
+				continue
+			}
+			size, ok := sizeOf(m.Sizes(), elem)
+			if !ok {
+				continue
+			}
+			if size%line != 0 {
+				reported[named.Obj()] = true
+				report(named.Obj().Pos(),
+					"%s embeds cache-padded cells and is used as an array element, but its size %d is not a multiple of %d (false sharing between adjacent elements)",
+					named.Obj().Name(), size, line)
+			}
+		}
+	}
+}
+
+// checkPaddedStruct applies the whole-line and payload-isolation rules to
+// one padded cell type.
+func checkPaddedStruct(m *Module, report ReportFunc, tn *types.TypeName, inst types.Type, decl *types.Struct, line int64) {
+	size, ok := sizeOf(m.Sizes(), inst)
+	if !ok {
+		return
+	}
+	if size%line != 0 {
+		report(tn.Pos(), "padded type %s is %d bytes, not a multiple of the %d-byte cache line",
+			tn.Name(), size, line)
+	}
+	st, ok := inst.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offsets := offsetsOf(m.Sizes(), fields)
+	if offsets == nil {
+		return
+	}
+	for i, f := range fields {
+		if f.Name() == "_" {
+			continue // padding
+		}
+		fsize, ok := sizeOf(m.Sizes(), f.Type())
+		if !ok || fsize > line {
+			continue
+		}
+		need := line - fsize
+		lead := offsets[i]
+		trail := size - (offsets[i] + fsize)
+		// decl.Field(i) keeps the declared (possibly generic) field for the
+		// diagnostic position.
+		pos := tn.Pos()
+		if i < decl.NumFields() {
+			pos = decl.Field(i).Pos()
+		}
+		if lead < need {
+			report(pos, "field %s of padded type %s has %d bytes of leading padding, need >= %d to guarantee an exclusive cache line",
+				f.Name(), tn.Name(), lead, need)
+		}
+		if trail < need {
+			report(pos, "field %s of padded type %s has %d bytes of trailing padding, need >= %d to guarantee an exclusive cache line",
+				f.Name(), tn.Name(), trail, need)
+		}
+	}
+}
+
+// containsPaddedCell reports whether t's inline layout (struct fields and
+// array elements, not pointers) includes a type from a package named
+// "padded".
+func containsPaddedCell(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n := namedOrigin(t); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "padded" {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsPaddedCell(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsPaddedCell(u.Elem(), seen)
+	}
+	return false
+}
+
+// instantiateForSizing makes a generic padded cell concrete (type arguments
+// do not affect its layout: parameters appear only under pointers).
+func instantiateForSizing(named *types.Named) (types.Type, bool) {
+	tp := named.TypeParams()
+	if tp.Len() == 0 {
+		return named, true
+	}
+	targs := make([]types.Type, tp.Len())
+	for i := range targs {
+		targs[i] = types.NewStruct(nil, nil)
+	}
+	inst, err := types.Instantiate(nil, named, targs, false)
+	if err != nil {
+		return nil, false
+	}
+	return inst, true
+}
+
+// sizeOf computes the layout size of t, absorbing panics from types the
+// size model cannot handle.
+func sizeOf(sizes types.Sizes, t types.Type) (size int64, ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	return sizes.Sizeof(t), true
+}
+
+// offsetsOf computes struct field offsets, absorbing size-model panics.
+func offsetsOf(sizes types.Sizes, fields []*types.Var) (offsets []int64) {
+	defer func() {
+		if recover() != nil {
+			offsets = nil
+		}
+	}()
+	return sizes.Offsetsof(fields)
+}
+
+// isModulePkg reports whether pkg is one of the module's own packages.
+func isModulePkg(m *Module, pkg *types.Package) bool {
+	return pkg.Path() == m.Path || len(pkg.Path()) > len(m.Path) &&
+		pkg.Path()[:len(m.Path)+1] == m.Path+"/"
+}
+
+// constInt64 extracts an int64 constant value.
+func constInt64(c *types.Const) (int64, bool) {
+	v := c.Val()
+	if v == nil || v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}

@@ -1,0 +1,339 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// The abort-taxonomy check keeps the observability invariant from PR 2 true
+// by construction: Stats.AbortReasons must sum to Stats.Aborts, which holds
+// only if every path that fails a transaction attempt first records *why*.
+// The abort bookkeeping in tx.go charges AbortReasons[tx.reason]
+// unconditionally, so an engine conflict path that forgets to set tx.reason
+// silently misattributes the abort to whatever reason the previous attempt
+// left behind — a bug no test catches unless it asserts the exact taxonomy.
+//
+// Scope: packages that declare an (unexported) `engine` interface with
+// `read` and `commit` methods. For every concrete type implementing it, the
+// check examines the conflict exits of those two methods:
+//
+//   - a `return` whose final result is the constant false (read's !ok,
+//     commit's failure), and
+//   - any `panic(conflictSignal{})` in the package.
+//
+// An exit is satisfied when a `<x>.reason = ...` assignment precedes it in
+// the function, or when it is governed by a condition derived from a call
+// whose callee (transitively, within the module) assigns a reason — the
+// delegation idiom (`if !ok { return false }` after revalidate). Calls
+// through the engine interface itself are trusted: each implementation is
+// checked on its own.
+func init() {
+	RegisterCheck(&Check{
+		Name: "abort-taxonomy",
+		Doc:  "every engine conflict path must set tx.reason before failing the attempt",
+		Run:  runTaxonomy,
+	})
+}
+
+func runTaxonomy(m *Module, report ReportFunc) {
+	for _, p := range m.Pkgs {
+		iface := engineInterface(p)
+		if iface == nil {
+			continue
+		}
+		tc := &taxonomyChecker{m: m, p: p, iface: iface, report: report}
+		tc.run()
+	}
+}
+
+// engineInterface finds the package's unexported engine contract: an
+// interface type named "engine" with read and commit methods.
+func engineInterface(p *Package) *types.Interface {
+	tn, ok := p.Types.Scope().Lookup("engine").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, ok := tn.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	hasRead, hasCommit := false, false
+	for i := 0; i < iface.NumMethods(); i++ {
+		switch iface.Method(i).Name() {
+		case "read":
+			hasRead = true
+		case "commit":
+			hasCommit = true
+		}
+	}
+	if !hasRead || !hasCommit {
+		return nil
+	}
+	return iface
+}
+
+type taxonomyChecker struct {
+	m      *Module
+	p      *Package
+	iface  *types.Interface
+	report ReportFunc
+
+	// setsReason memoizes "does this function (transitively) assign a
+	// .reason field".
+	setsReason map[*types.Func]bool
+}
+
+func (tc *taxonomyChecker) run() {
+	tc.setsReason = make(map[*types.Func]bool)
+	for _, f := range tc.p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			isEngineMethod := tc.isEngineConflictMethod(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // closures have their own control flow
+				}
+				switch n := n.(type) {
+				case *ast.ReturnStmt:
+					if isEngineMethod && tc.isConflictReturn(n) && !tc.excused(fd, n.Pos(), n) {
+						tc.report(n.Pos(), "conflict exit without setting tx.reason: %s.%s returns false but no abort reason was recorded on this path",
+							recvName(fd), fd.Name.Name)
+					}
+				case *ast.CallExpr:
+					if tc.isConflictPanic(n) && !tc.excused(fd, n.Pos(), n) {
+						tc.report(n.Pos(), "conflictSignal raised without setting tx.reason in %s", fd.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isEngineConflictMethod reports whether fd is the read or commit method of
+// a type implementing the engine interface.
+func (tc *taxonomyChecker) isEngineConflictMethod(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	if fd.Name.Name != "read" && fd.Name.Name != "commit" {
+		return false
+	}
+	rt := tc.p.Info.TypeOf(fd.Recv.List[0].Type)
+	if rt == nil {
+		return false
+	}
+	return types.Implements(rt, tc.iface) ||
+		types.Implements(types.NewPointer(rt), tc.iface)
+}
+
+// isConflictReturn reports whether ret's final result is constant false.
+func (tc *taxonomyChecker) isConflictReturn(ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return false
+	}
+	last := ret.Results[len(ret.Results)-1]
+	tv, ok := tc.p.Info.Types[last]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.Bool && !constant.BoolVal(tv.Value)
+}
+
+// isConflictPanic matches panic(conflictSignal{...}).
+func (tc *taxonomyChecker) isConflictPanic(call *ast.CallExpr) bool {
+	id, ok := unwrap(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	if b, ok := tc.p.Info.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "panic" {
+		return false
+	}
+	n := namedOrigin(tc.p.Info.TypeOf(call.Args[0]))
+	return n != nil && n.Obj().Name() == "conflictSignal"
+}
+
+// excused reports whether the conflict exit at pos is preceded by a reason
+// assignment in fd, or governed by a delegating condition.
+func (tc *taxonomyChecker) excused(fd *ast.FuncDecl, pos token.Pos, exit ast.Node) bool {
+	// (1) A textually preceding `<x>.reason = ...` in the same function: the
+	// reason is recorded before control can reach the exit.
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Pos() >= pos {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if sel, ok := unwrap(lhs).(*ast.SelectorExpr); ok && sel.Sel.Name == "reason" {
+				found = true
+			}
+		}
+		return true
+	})
+	if found {
+		return true
+	}
+	// (2) Delegation: the exit is inside an if whose condition came from a
+	// call that sets the reason itself.
+	ifStmt := enclosingIf(fd.Body, exit)
+	if ifStmt == nil {
+		return false
+	}
+	for _, id := range condIdents(ifStmt.Cond) {
+		if tc.assignedFromReasonSettingCall(fd, id) {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingIf finds the innermost if statement containing node.
+func enclosingIf(body *ast.BlockStmt, node ast.Node) *ast.IfStmt {
+	var best *ast.IfStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if ok && ifs.Pos() <= node.Pos() && node.End() <= ifs.End() {
+			best = ifs
+		}
+		return true
+	})
+	return best
+}
+
+// condIdents collects the identifiers appearing in a condition expression.
+func condIdents(e ast.Expr) []*ast.Ident {
+	var ids []*ast.Ident
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			ids = append(ids, id)
+		}
+		return true
+	})
+	return ids
+}
+
+// assignedFromReasonSettingCall reports whether id is assigned within fd
+// from a call whose callee records an abort reason. Interface calls to the
+// engine's own read/commit are trusted (each implementation is verified
+// separately).
+func (tc *taxonomyChecker) assignedFromReasonSettingCall(fd *ast.FuncDecl, id *ast.Ident) bool {
+	obj := tc.p.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	result := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if result {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		assignsID := false
+		for _, lhs := range as.Lhs {
+			if lid, ok := unwrap(lhs).(*ast.Ident); ok && tc.p.Info.ObjectOf(lid) == obj {
+				assignsID = true
+			}
+		}
+		if !assignsID {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			call, ok := unwrap(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn := calleeFunc(tc.p.Info, call)
+			if fn == nil {
+				continue
+			}
+			if tc.isEngineIfaceMethod(fn) || tc.fnSetsReason(fn, 0) {
+				result = true
+			}
+		}
+		return true
+	})
+	return result
+}
+
+// isEngineIfaceMethod reports whether fn is the read or commit method of
+// the engine interface itself (a dynamic dispatch site).
+func (tc *taxonomyChecker) isEngineIfaceMethod(fn *types.Func) bool {
+	if fn.Name() != "read" && fn.Name() != "commit" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, isIface := sig.Recv().Type().Underlying().(*types.Interface)
+	return isIface
+}
+
+// fnSetsReason reports (memoized, depth-capped) whether fn's body assigns a
+// .reason field, directly or through module-internal callees.
+func (tc *taxonomyChecker) fnSetsReason(fn *types.Func, depth int) bool {
+	if depth > 3 {
+		return false
+	}
+	if v, ok := tc.setsReason[fn]; ok {
+		return v
+	}
+	tc.setsReason[fn] = false // cycle guard
+	decl, ok := tc.m.FuncDecls[fn]
+	if !ok || decl.Body == nil {
+		return false
+	}
+	declPkg := tc.m.PkgForPos(decl.Pos())
+	if declPkg == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := unwrap(lhs).(*ast.SelectorExpr); ok && sel.Sel.Name == "reason" {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if callee := calleeFunc(declPkg.Info, n); callee != nil && callee != fn {
+				if tc.fnSetsReason(callee, depth+1) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	tc.setsReason[fn] = found
+	return found
+}
+
+// recvName renders the receiver type name of a method declaration.
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "?"
+}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The tx-escape check confines transaction handles to their atomic block.
+// A *Tx is only valid inside the Atomically callback that received it: the
+// engine re-executes bodies after conflicts, recycles the Tx value between
+// attempts, and relies on the owning goroutine being the only one touching
+// the read/write sets. A handle that leaks — stored to a global, parked in
+// a heap-reachable field, sent on a channel, or captured by a goroutine
+// spawned inside the body — can be used after its attempt died, turning an
+// aborted snapshot into silent corruption.
+//
+// Flagged, for any expression whose type is *Tx where Tx is a named type in
+// a package called "core" or "stm":
+//
+//   - assignments whose destination may be shared memory (package-level
+//     variables, fields reached through pointers, slice/map elements),
+//   - package-level variable declarations initialized with a handle,
+//   - channel sends of a handle,
+//   - handles passed to a `go` call, and function literals launched by `go`
+//     that capture a handle declared outside the literal,
+//   - appending a handle to any slice.
+//
+// Passing a handle *down* a synchronous call (`helper(tx, ...)`) is the
+// supported idiom and is not flagged; the check is intra-procedural by
+// design.
+func init() {
+	RegisterCheck(&Check{
+		Name: "tx-escape",
+		Doc:  "*Tx handles must not outlive their atomic block (no globals, heap fields, channels, or go captures)",
+		Run:  runTxEscape,
+	})
+}
+
+func runTxEscape(m *Module, report ReportFunc) {
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						if !isTxPtr(p.Info.TypeOf(rhs)) {
+							continue
+						}
+						if len(n.Lhs) != len(n.Rhs) {
+							continue // comma-ok / multi-value call forms
+						}
+						lhs := unwrap(n.Lhs[i])
+						if id, ok := lhs.(*ast.Ident); ok {
+							// Binding a local variable is the normal idiom
+							// (tx := ...); only package-level targets leak.
+							obj := p.Info.ObjectOf(id)
+							if obj != nil && obj.Parent() != nil && obj.Parent().Parent() == types.Universe {
+								report(n.Pos(), "transaction handle stored in package-level variable %s", id.Name)
+							}
+							continue
+						}
+						if sharedDest(p.Info, lhs) {
+							report(n.Pos(), "transaction handle stored to shared location %s; a *Tx must not outlive its atomic block", exprString(lhs))
+						}
+					}
+				case *ast.GenDecl:
+					// Package-level (or shared-by-closure) var initialized
+					// with a handle: only package scope is inherently shared,
+					// locals are covered by the assignment rule.
+					for _, spec := range n.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, val := range vs.Values {
+							if isTxPtr(p.Info.TypeOf(val)) && isPackageLevel(p.Info, vs) {
+								report(val.Pos(), "transaction handle stored in a package-level variable")
+							}
+						}
+						if isPackageLevel(p.Info, vs) && len(vs.Values) == 0 && vs.Type != nil {
+							if isTxPtr(p.Info.TypeOf(vs.Type)) {
+								report(vs.Pos(), "package-level *Tx variable invites cross-transaction reuse; pass the Tx down instead")
+							}
+						}
+					}
+				case *ast.SendStmt:
+					if isTxPtr(p.Info.TypeOf(n.Value)) {
+						report(n.Pos(), "transaction handle sent on a channel; the receiver may use it after the attempt aborts")
+					}
+				case *ast.GoStmt:
+					checkGoStmt(p.Info, n, report)
+				case *ast.CallExpr:
+					if id, ok := unwrap(n.Fun).(*ast.Ident); ok {
+						if b, ok := p.Info.ObjectOf(id).(*types.Builtin); ok && b.Name() == "append" {
+							for _, arg := range n.Args[1:] {
+								if isTxPtr(p.Info.TypeOf(arg)) {
+									report(arg.Pos(), "transaction handle appended to a slice; a *Tx must not be retained in a collection")
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkGoStmt flags handles crossing a goroutine boundary: as arguments to
+// the spawned call, or as free variables of a spawned function literal.
+func checkGoStmt(info *types.Info, g *ast.GoStmt, report ReportFunc) {
+	for _, arg := range g.Call.Args {
+		if isTxPtr(info.TypeOf(arg)) {
+			report(arg.Pos(), "transaction handle passed to a goroutine; transactions are single-goroutine")
+		}
+	}
+	lit, ok := unwrap(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || !isTxPtr(obj.Type()) {
+			return true
+		}
+		// Free variable: declared outside the literal's extent.
+		if obj.Pos() < lit.Pos() || obj.Pos() >= lit.End() {
+			report(id.Pos(), "goroutine captures transaction handle %q; transactions are single-goroutine", id.Name)
+		}
+		return true
+	})
+}
+
+// isTxPtr reports whether t is a pointer to a named type Tx declared in a
+// package named "core" or "stm" (the engine core and its public wrapper).
+func isTxPtr(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n := namedOrigin(ptr.Elem())
+	if n == nil || n.Obj().Name() != "Tx" || n.Obj().Pkg() == nil {
+		return false
+	}
+	name := n.Obj().Pkg().Name()
+	return name == "core" || name == "stm"
+}
+
+// isPackageLevel reports whether the ValueSpec declares package-scope
+// variables.
+func isPackageLevel(info *types.Info, vs *ast.ValueSpec) bool {
+	for _, name := range vs.Names {
+		if obj := info.Defs[name]; obj != nil && obj.Parent() != nil &&
+			obj.Parent().Parent() == types.Universe {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders a short source-ish form of an l-value for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := unwrap(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	default:
+		return "<expr>"
+	}
+}

@@ -1,0 +1,379 @@
+// Package analysis implements stmlint: a stdlib-only static analyzer that
+// machine-checks the concurrency invariants RInval's correctness rests on.
+//
+// The STM's opacity argument (DESIGN.md) assumes a memory-access discipline
+// that neither go vet nor the race detector can prove ahead of time: every
+// shared counter accessed only through sync/atomic, every spin target alone
+// on its cache line, every transaction handle confined to its atomic block,
+// every abort classified, every annotated fast path free of slow calls. Each
+// of those conventions is a Check here; cmd/stmlint runs them over the whole
+// module and reports violations as file:line diagnostics.
+//
+// The loader below is deliberately dependency-free (go/ast + go/types +
+// go/importer only, matching the repo's no-dependency rule): it discovers the
+// module's packages from go.mod, parses them, topologically sorts them by
+// their intra-module imports, and type-checks each one, resolving standard
+// library imports through the compiler's export data (falling back to
+// type-checking the standard library from source where export data is
+// unavailable).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the analyzed module.
+type Package struct {
+	// Path is the package's import path (module path + relative directory).
+	Path string
+	// Dir is the absolute directory holding the package's sources.
+	Dir string
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression/object tables for Files.
+	Info *types.Info
+}
+
+// Module is a fully loaded and type-checked module: the unit every Check
+// runs over.
+type Module struct {
+	// Fset maps every AST node of every package to its position.
+	Fset *token.FileSet
+	// Path is the module path declared in go.mod.
+	Path string
+	// Dir is the module root (the directory containing go.mod).
+	Dir string
+	// Pkgs lists the module's packages in dependency (topological) order.
+	Pkgs []*Package
+	// FuncDecls resolves a function object to its declaration, across all
+	// packages — the hook checks use for shallow inter-procedural questions
+	// ("does this callee assign tx.reason?").
+	FuncDecls map[*types.Func]*ast.FuncDecl
+
+	sizes types.Sizes
+}
+
+// Sizes returns the target size model used for padding computations.
+func (m *Module) Sizes() types.Sizes { return m.sizes }
+
+// PkgForPos returns the module package whose sources contain pos, or nil.
+func (m *Module) PkgForPos(pos token.Pos) *Package {
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			if f.Pos() <= pos && pos < f.End() {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+// LoadModule parses and type-checks the module rooted at dir (which must
+// contain a go.mod). Test files (_test.go) are not analyzed: the invariants
+// guard the production concurrency paths, and test packages routinely break
+// conventions on purpose.
+func LoadModule(dir string) (*Module, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, goVersion, err := readGoMod(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Module{
+		Fset:      token.NewFileSet(),
+		Path:      modPath,
+		Dir:       dir,
+		FuncDecls: make(map[*types.Func]*ast.FuncDecl),
+	}
+	m.sizes = types.SizesFor("gc", runtime.GOARCH)
+	if m.sizes == nil {
+		m.sizes = types.SizesFor("gc", "amd64")
+	}
+
+	dirs, err := packageDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make(map[string]*Package)
+	for _, d := range dirs {
+		p, err := m.parseDir(d)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			pkgs[p.Path] = p
+		}
+	}
+
+	order, err := topoSort(m.Path, pkgs)
+	if err != nil {
+		return nil, err
+	}
+
+	im := &moduleImporter{
+		fset:  m.Fset,
+		mod:   m.Path,
+		local: make(map[string]*types.Package),
+		std:   make(map[string]*types.Package),
+	}
+	for _, p := range order {
+		if err := m.typeCheck(p, im, goVersion); err != nil {
+			return nil, err
+		}
+		im.local[p.Path] = p.Types
+		m.Pkgs = append(m.Pkgs, p)
+	}
+	return m, nil
+}
+
+// readGoMod extracts the module path and go directive from a go.mod file.
+func readGoMod(path string) (modPath, goVersion string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", "", fmt.Errorf("analysis: module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if p, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.Trim(strings.TrimSpace(p), `"`)
+		}
+		if v, ok := strings.CutPrefix(line, "go "); ok {
+			goVersion = "go" + strings.TrimSpace(v)
+		}
+	}
+	if modPath == "" {
+		return "", "", fmt.Errorf("analysis: no module directive in %s", path)
+	}
+	return modPath, goVersion, nil
+}
+
+// packageDirs walks the module tree collecting directories that contain Go
+// sources, skipping testdata, vendor, hidden, and underscore directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && isSourceFile(e.Name()) {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// isSourceFile reports whether name is a non-test Go source the analyzer
+// should load.
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// parseDir parses one package directory. Returns nil when the directory
+// holds no loadable sources.
+func (m *Module) parseDir(dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil
+	}
+
+	rel, err := filepath.Rel(m.Dir, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := m.Path
+	if rel != "." {
+		path = m.Path + "/" + filepath.ToSlash(rel)
+	}
+
+	p := &Package{Path: path, Dir: dir}
+	for _, name := range names {
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse: %w", err)
+		}
+		if len(p.Files) > 0 && f.Name.Name != p.Files[0].Name.Name {
+			return nil, fmt.Errorf("analysis: %s: package name %q conflicts with %q",
+				filepath.Join(dir, name), f.Name.Name, p.Files[0].Name.Name)
+		}
+		p.Files = append(p.Files, f)
+	}
+	return p, nil
+}
+
+// topoSort orders packages so every intra-module import precedes its
+// importer.
+func topoSort(modPath string, pkgs map[string]*Package) ([]*Package, error) {
+	const (
+		white = iota // unvisited
+		gray         // on the current DFS path (cycle witness)
+		black        // done
+	)
+	color := make(map[string]int)
+	var order []*Package
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch color[path] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		color[path] = gray
+		p := pkgs[path]
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				dep := strings.Trim(imp.Path.Value, `"`)
+				if _, ok := pkgs[dep]; ok && dep != path {
+					if err := visit(dep); err != nil {
+						return err
+					}
+				} else if dep != path && (dep == modPath || strings.HasPrefix(dep, modPath+"/")) {
+					return fmt.Errorf("analysis: %s imports %s, which has no loadable sources", path, dep)
+				}
+			}
+		}
+		color[path] = black
+		order = append(order, p)
+		return nil
+	}
+	paths := make([]string, 0, len(pkgs))
+	for path := range pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// typeCheck runs go/types over one package and records its object tables.
+func (m *Module) typeCheck(p *Package, im types.Importer, goVersion string) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer:  im,
+		Sizes:     m.sizes,
+		GoVersion: goVersion,
+		Error:     func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(p.Path, m.Fset, p.Files, info)
+	if len(errs) > 0 {
+		return fmt.Errorf("analysis: type-check %s: %v (and %d more)", p.Path, errs[0], len(errs)-1)
+	}
+	p.Types = tpkg
+	p.Info = info
+
+	for ident, obj := range info.Defs {
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		// Walk up from the name to its FuncDecl.
+		for _, f := range p.Files {
+			if f.Pos() <= ident.Pos() && ident.Pos() < f.End() {
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name == ident {
+						m.FuncDecls[fn] = fd
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// moduleImporter resolves imports during type-checking: module-internal
+// paths come from the already-checked packages, everything else from the
+// compiler's export data with a from-source fallback.
+type moduleImporter struct {
+	fset   *token.FileSet
+	mod    string
+	local  map[string]*types.Package
+	std    map[string]*types.Package
+	gc     types.Importer
+	source types.Importer
+}
+
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.local[path]; ok {
+		return p, nil
+	}
+	if path == im.mod || strings.HasPrefix(path, im.mod+"/") {
+		return nil, fmt.Errorf("analysis: module package %q not loaded before its importer", path)
+	}
+	if p, ok := im.std[path]; ok {
+		return p, nil
+	}
+	if im.gc == nil {
+		im.gc = importer.Default()
+	}
+	p, gcErr := im.gc.Import(path)
+	if gcErr == nil {
+		im.std[path] = p
+		return p, nil
+	}
+	if im.source == nil {
+		im.source = importer.ForCompiler(im.fset, "source", nil)
+	}
+	p, srcErr := im.source.Import(path)
+	if srcErr != nil {
+		return nil, fmt.Errorf("analysis: import %q: %v; source fallback: %v", path, gcErr, srcErr)
+	}
+	im.std[path] = p
+	return p, nil
+}

@@ -1,0 +1,15 @@
+// Allocation and formatting on an annotated hot path.
+package hot
+
+import "fmt"
+
+//stm:hotpath
+func build(n int) map[int]int {
+	m := make(map[int]int, n) // want hot-path
+	return m
+}
+
+//stm:hotpath
+func describe(v int) string {
+	return fmt.Sprintf("%d", v) // want hot-path
+}

@@ -1,0 +1,21 @@
+// Direct clock reads and lock acquisition on an annotated hot path.
+package hot
+
+import (
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+
+//stm:hotpath
+func read() int64 {
+	return time.Now().UnixNano() // want hot-path
+}
+
+//stm:hotpath
+func commit(f func()) {
+	mu.Lock() // want hot-path
+	f()
+	mu.Unlock() // want hot-path
+}

@@ -1,0 +1,20 @@
+// A field accessed only through sync/atomic, plus the sanctioned snapshot
+// idiom: copies rooted at a local value cannot race with the shared original.
+package counter
+
+import "sync/atomic"
+
+type Counter struct {
+	hits uint64
+	name string
+}
+
+func (c *Counter) Inc() { atomic.AddUint64(&c.hits, 1) }
+
+func (c *Counter) Snapshot() Counter {
+	return Counter{hits: atomic.LoadUint64(&c.hits), name: c.name}
+}
+
+func report(c Counter) uint64 {
+	return c.hits // private copy: exempt
+}

@@ -1,0 +1,15 @@
+// A plain load of a field that is updated atomically: the classic racy
+// fast-path read.
+package counter
+
+import "sync/atomic"
+
+type Counter struct {
+	hits uint64
+}
+
+func (c *Counter) Inc() { atomic.AddUint64(&c.hits, 1) }
+
+func (c *Counter) Read() uint64 {
+	return c.hits // want mixed-access
+}

@@ -1,0 +1,14 @@
+// A plain store to a field that is read atomically elsewhere.
+package gauge
+
+import "sync/atomic"
+
+type Gauge struct {
+	level uint64
+}
+
+func (g *Gauge) Level() uint64 { return atomic.LoadUint64(&g.level) }
+
+func (g *Gauge) Reset() {
+	g.level = 0 // want mixed-access
+}

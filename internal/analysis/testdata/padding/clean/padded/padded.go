@@ -1,0 +1,13 @@
+// A correctly laid-out cell: lead pad = line - sizeof(payload), trail pad =
+// a full line, total two lines.
+package padded
+
+const CacheLineSize = 64
+
+type Uint64 struct {
+	_ [CacheLineSize - 8]byte
+	v uint64
+	_ [CacheLineSize]byte
+}
+
+func (p *Uint64) Get() uint64 { return p.v }

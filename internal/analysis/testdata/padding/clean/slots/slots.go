@@ -1,0 +1,13 @@
+// A per-slot struct whose size is a whole number of cache lines, used as a
+// slice element.
+package slots
+
+import "example.com/fix/padded"
+
+type slot struct {
+	state padded.Uint64
+}
+
+var table []slot
+
+func Get(i int) uint64 { return table[i].state.Get() }

@@ -1,0 +1,21 @@
+// Two broken cells: one whose total size is not a line multiple, one whose
+// payloads lack isolation padding.
+package padded
+
+const CacheLineSize = 64
+
+type Uint64 struct { // want padding
+	_ [CacheLineSize - 8]byte
+	v uint64
+	_ [CacheLineSize - 8]byte
+}
+
+type Pair struct {
+	a uint64 // want padding
+	b uint64 // want padding
+	_ [2*CacheLineSize - 16]byte
+}
+
+func (p *Uint64) Get() uint64 { return p.v }
+
+func (p *Pair) Sum() uint64 { return p.a + p.b }

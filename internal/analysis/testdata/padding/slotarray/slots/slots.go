@@ -1,0 +1,14 @@
+// The cell itself is fine, but the per-slot struct wrapping it picks up a
+// 4-byte tail, so adjacent slice elements shift off line boundaries.
+package slots
+
+import "example.com/fix/padded"
+
+type slot struct { // want padding
+	state padded.Uint64
+	owner int32
+}
+
+var table []slot
+
+func Get(i int) uint64 { return table[i].state.Get() }

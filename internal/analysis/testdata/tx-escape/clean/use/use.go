@@ -1,0 +1,12 @@
+// Passing the handle down synchronous calls and binding locals is the
+// supported idiom.
+package use
+
+import "example.com/fix/core"
+
+func helper(tx *core.Tx) int { return tx.Load() }
+
+func Run(tx *core.Tx) int {
+	t := tx
+	return helper(t)
+}

@@ -1,0 +1,7 @@
+package core
+
+type Tx struct {
+	n int
+}
+
+func (tx *Tx) Load() int { return tx.n }

@@ -1,0 +1,10 @@
+// Parking a handle in a package-level variable lets it outlive its attempt.
+package use
+
+import "example.com/fix/core"
+
+var current *core.Tx // want tx-escape
+
+func Stash(tx *core.Tx) {
+	current = tx // want tx-escape
+}

@@ -1,0 +1,12 @@
+// Handles crossing a goroutine boundary: captured by a spawned literal, or
+// sent on a channel.
+package use
+
+import "example.com/fix/core"
+
+func Spawn(tx *core.Tx, ch chan *core.Tx) {
+	go func() {
+		_ = tx.Load() // want tx-escape
+	}()
+	ch <- tx // want tx-escape
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/ssrg-vt/rinval/internal/bloom"
 	"github.com/ssrg-vt/rinval/internal/obs"
@@ -97,6 +98,7 @@ func (e *remoteEngine) begin(tx *Tx) {}
 // present, a read additionally requires the reader's own server to have
 // processed every prior commit (Algorithm 3 line 28): only then is "my
 // status flag is still ALIVE" proof that no prior commit conflicted.
+//stm:hotpath
 func (e *remoteEngine) read(tx *Tx, v *Var) (*box, bool) {
 	if e.numInval == 0 {
 		return invalRead(tx, v, nil)
@@ -108,6 +110,7 @@ func (e *remoteEngine) read(tx *Tx, v *Var) (*box, bool) {
 // commit is the client side of Algorithm 2's CLIENT COMMIT: publish the
 // request, then spin on the private reply field until the commit-server
 // answers. Identical for all three variants.
+//stm:hotpath
 func (e *remoteEngine) commit(tx *Tx) bool {
 	if tx.ws.len() == 0 {
 		return true
@@ -170,6 +173,7 @@ func (e *remoteEngine) serverStats() Stats {
 // server's catch-up is itself bounded by the ring; a request left out of a
 // batch for incompatibility stays PENDING and leads its own epoch when the
 // scan reaches it).
+//stm:hotpath
 func (e *remoteEngine) commitServerMain(stop func() bool) {
 	sys := e.sys
 	var w spin.Waiter
@@ -200,6 +204,7 @@ func (e *remoteEngine) commitServerMain(stop func() bool) {
 // Incompatible or deferred requests stay PENDING for a later epoch. It
 // returns false when no reply was sent (V3: every pending requester's
 // invalidation-server lags) so the caller's scan can back off.
+//stm:hotpath
 func (e *remoteEngine) serveEpochFrom(first int) bool {
 	sys := e.sys
 	ring := e.commitRing
@@ -342,7 +347,7 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 		}
 		sys.ts.Add(1)
 		doomed := sys.invalidateOthers(e.batchMask, e.batchWS, e.commitRing)
-		e.commitSrv.Invalidations += doomed
+		atomic.AddUint64(&e.commitSrv.Invalidations, doomed)
 		if timing {
 			// V1 has no lag wait; the inline scan itself is the
 			// invalidation phase.
@@ -396,8 +401,8 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 		ring.SpanAt(obs.KReply, tPrev, now, uint64(n))
 		ring.SpanAt(obs.KEpoch, tStart, now, uint64(n))
 	}
-	e.commitSrv.Commits += uint64(n)
-	e.commitSrv.Epochs++
+	atomic.AddUint64(&e.commitSrv.Commits, uint64(n))
+	atomic.AddUint64(&e.commitSrv.Epochs, 1)
 	e.commitSrv.BatchSizes.Record(uint64(n))
 	return true
 }
@@ -406,6 +411,7 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 // global timestamp passes this server's local timestamp, fetch the pending
 // commit descriptor, doom conflicting transactions in this server's
 // partition, and advance the local timestamp by 2.
+//stm:hotpath
 func (e *remoteEngine) invalServerMain(k int, stop func() bool) {
 	sys := e.sys
 	st := &e.invalSrv[k]
@@ -420,7 +426,7 @@ func (e *remoteEngine) invalServerMain(k int, stop func() bool) {
 			t0 := ring.Now()
 			d := sys.ring[(my/2)%uint64(len(sys.ring))].Load()
 			doomed := sys.invalidatePartition(k, d.members, d.bf, ring)
-			st.Invalidations += doomed
+			atomic.AddUint64(&st.Invalidations, doomed)
 			sys.invalTS[k].Store(my + 2)
 			ring.Span(obs.KInvalScan, t0, doomed)
 			w.Reset()

@@ -42,7 +42,10 @@ type commitReq struct {
 
 // slot is one entry of the cache-aligned requests array. Every hot field is
 // padded onto its own cache line so a client spinning on its reply line never
-// contends with its neighbours or with servers touching other fields.
+// contends with its neighbours or with servers touching other fields, and the
+// struct as a whole is a multiple of the cache line so adjacent slots in the
+// array never share one (stmlint's padding check and sizeof_test.go enforce
+// both).
 type slot struct {
 	// state is the request mailbox the client spins on (PENDING -> reply).
 	state padded.Uint32
@@ -52,8 +55,12 @@ type slot struct {
 	status padded.Uint64
 	// req carries the published commit request while state is PENDING.
 	req padded.Pointer[commitReq]
+	// inUse marks the slot as owned by a registered Thread.
+	inUse padded.Bool
 	// readBF is the transaction's read signature, written by the owner and
-	// scanned concurrently by committers/invalidation-servers.
+	// scanned concurrently by committers/invalidation-servers. The pointer
+	// and the fields below it are written once at System construction and
+	// read-only afterwards, so sharing a line among them is harmless.
 	readBF *bloom.Atomic
 	// invalServer is the invalidation-server partition this slot belongs to
 	// (RInvalV2/V3); fixed at System construction.
@@ -62,8 +69,9 @@ type slot struct {
 	// construction — the skip set an inline committer (InvalSTM) passes to
 	// the invalidation scan.
 	selfMask slotMask
-	// inUse marks the slot as owned by a registered Thread.
-	inUse padded.Bool
+	// Round the cold tail (8 + 8 + 24 bytes) up to a whole cache line so
+	// []slot keeps every element's spin lines exclusive.
+	_ [padded.CacheLineSize - (8+8+24)%padded.CacheLineSize]byte
 }
 
 // aliveWord loads the status word and reports whether it denotes a live

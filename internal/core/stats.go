@@ -106,24 +106,28 @@ func (p *ServerPhases) merge(o *ServerPhases) {
 	p.StepAhead.Merge(&o.StepAhead)
 }
 
-// Add accumulates o into s.
+// Add accumulates o into s. The counter adds are atomic for the same reason
+// the live-thread updates are: s may be a shared aggregate that several
+// goroutines fold into, and the atomic discipline on these fields is
+// all-or-nothing (stmlint's mixed-access check enforces it). The histogram
+// merges stay plain — only quiescent server stats carry them.
 func (s *Stats) Add(o Stats) {
-	s.Commits += o.Commits
-	s.Aborts += o.Aborts
-	s.ReadOnly += o.ReadOnly
-	s.Reads += o.Reads
-	s.Writes += o.Writes
-	s.ReadNs += o.ReadNs
-	s.CommitNs += o.CommitNs
-	s.AbortNs += o.AbortNs
-	s.Validations += o.Validations
-	s.ValidationOps += o.ValidationOps
-	s.Invalidations += o.Invalidations
-	s.SelfAborts += o.SelfAborts
+	atomic.AddUint64(&s.Commits, o.Commits)
+	atomic.AddUint64(&s.Aborts, o.Aborts)
+	atomic.AddUint64(&s.ReadOnly, o.ReadOnly)
+	atomic.AddUint64(&s.Reads, o.Reads)
+	atomic.AddUint64(&s.Writes, o.Writes)
+	atomic.AddUint64(&s.ReadNs, o.ReadNs)
+	atomic.AddUint64(&s.CommitNs, o.CommitNs)
+	atomic.AddUint64(&s.AbortNs, o.AbortNs)
+	atomic.AddUint64(&s.Validations, o.Validations)
+	atomic.AddUint64(&s.ValidationOps, o.ValidationOps)
+	atomic.AddUint64(&s.Invalidations, o.Invalidations)
+	atomic.AddUint64(&s.SelfAborts, o.SelfAborts)
 	for i := range s.AbortReasons {
-		s.AbortReasons[i] += o.AbortReasons[i]
+		atomic.AddUint64(&s.AbortReasons[i], o.AbortReasons[i])
 	}
-	s.Epochs += o.Epochs
+	atomic.AddUint64(&s.Epochs, o.Epochs)
 	s.BatchSizes.Merge(&o.BatchSizes)
 	s.Server.merge(&o.Server)
 }
@@ -157,8 +161,10 @@ func (s *Stats) snapshotAtomic() Stats {
 }
 
 // ConflictAborts sums the conflict-reason abort counters (excluding
-// AbortExplicit, which counts user aborts); the result equals Aborts.
-func (s *Stats) ConflictAborts() uint64 {
+// AbortExplicit, which counts user aborts); the result equals Aborts. The
+// value receiver is deliberate: these derived views read a snapshot (as
+// returned by Thread.Stats / System.Stats), never a live thread's counters.
+func (s Stats) ConflictAborts() uint64 {
 	var n uint64
 	for r := AbortReason(0); r < obs.NumConflictReasons; r++ {
 		n += s.AbortReasons[r]
@@ -166,8 +172,9 @@ func (s *Stats) ConflictAborts() uint64 {
 	return n
 }
 
-// AbortRate returns aborts / (commits + aborts), or 0 when idle.
-func (s *Stats) AbortRate() float64 {
+// AbortRate returns aborts / (commits + aborts), or 0 when idle. Value
+// receiver for the same reason as ConflictAborts: it is a snapshot view.
+func (s Stats) AbortRate() float64 {
 	total := s.Commits + s.Aborts
 	if total == 0 {
 		return 0

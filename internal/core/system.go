@@ -353,6 +353,7 @@ func (s *System) waitEven() uint64 {
 // RInvalV1's commit-server (skip = the epoch's batch members), and
 // per-partition by the invalidation-servers. Each doom is recorded on the
 // invalidator's trace ring (nil when tracing is off).
+//stm:hotpath
 func (s *System) invalidateOthers(skip slotMask, bf *bloom.Filter, ring *obs.Ring) uint64 {
 	var doomed uint64
 	for i := range s.slots {
@@ -366,6 +367,7 @@ func (s *System) invalidateOthers(skip slotMask, bf *bloom.Filter, ring *obs.Rin
 
 // invalidatePartition is invalidateOthers restricted to invalidation-server
 // k's partition.
+//stm:hotpath
 func (s *System) invalidatePartition(k int, skip slotMask, bf *bloom.Filter, ring *obs.Ring) uint64 {
 	var doomed uint64
 	for i := k; i < len(s.slots); i += s.cfg.InvalServers {
@@ -380,6 +382,7 @@ func (s *System) invalidatePartition(k int, skip slotMask, bf *bloom.Filter, rin
 // invalidateSlot applies the doom check to one slot. The status word is
 // captured before the filter intersection so the CAS can only doom the exact
 // transaction incarnation whose bits were observed.
+//stm:hotpath
 func (s *System) invalidateSlot(i int, bf *bloom.Filter, ring *obs.Ring) uint64 {
 	sl := &s.slots[i]
 	if !sl.inUse.Load() {
@@ -401,6 +404,7 @@ func (s *System) invalidateSlot(i int, bf *bloom.Filter, ring *obs.Ring) uint64 
 
 // countConflictingReaders counts in-flight transactions whose read signature
 // intersects bf — the CMReaderBiased policy's doom estimate.
+//stm:hotpath
 func (s *System) countConflictingReaders(committer int, bf *bloom.Filter) int {
 	n := 0
 	for i := range s.slots {

@@ -170,6 +170,7 @@ func (tx *Tx) run(fn func(*Tx) error) (err error, conflicted bool) {
 //
 // Counter updates here and below are atomic adds so System.Stats can read a
 // live thread's counters without a data race; the thread is the only writer.
+//stm:hotpath
 func (tx *Tx) Load(v *Var) any {
 	atomic.AddUint64(&tx.stats.Reads, 1)
 	if tx.direct {
@@ -197,12 +198,14 @@ func (tx *Tx) Load(v *Var) any {
 }
 
 // Store buffers a write of val to v; it becomes visible atomically at commit.
+//stm:hotpath
 func (tx *Tx) Store(v *Var, val any) {
 	atomic.AddUint64(&tx.stats.Writes, 1)
 	tx.ws.put(v, &box{v: val})
 }
 
 // finishCommit drives the engine commit and updates stats/slot state.
+//stm:hotpath
 func (tx *Tx) finishCommit() bool {
 	var t0 time.Time
 	if tx.sys.cfg.Stats {

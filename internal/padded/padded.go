@@ -17,11 +17,23 @@ import "sync/atomic"
 // false sharing and only halves the safety margin.
 const CacheLineSize = 64
 
+// Every cell type below follows the same layout contract, machine-checked by
+// stmlint's padding check and the size table in sizeof_test.go:
+//
+//   - the leading pad is CacheLineSize - sizeof(payload), so that at any
+//     allocation alignment (the payload's own alignment quantizes where line
+//     boundaries can fall) no mutable neighbor before the cell shares the
+//     payload's line;
+//   - the trailing pad is a full CacheLineSize, which both isolates the
+//     payload from following neighbors and rounds the cell to a whole number
+//     of cache lines, so arrays of cells (and per-slot structs embedding
+//     them) keep successive payloads on distinct lines.
+
 // Uint64 is an atomic uint64 alone on its cache line.
 type Uint64 struct {
 	_ [CacheLineSize - 8]byte
 	v atomic.Uint64
-	_ [CacheLineSize - 8]byte
+	_ [CacheLineSize]byte
 }
 
 // Load atomically loads the value.
@@ -40,7 +52,7 @@ func (p *Uint64) CompareAndSwap(old, new uint64) bool { return p.v.CompareAndSwa
 type Uint32 struct {
 	_ [CacheLineSize - 4]byte
 	v atomic.Uint32
-	_ [CacheLineSize - 4]byte
+	_ [CacheLineSize]byte
 }
 
 // Load atomically loads the value.
@@ -59,7 +71,7 @@ func (p *Uint32) CompareAndSwap(old, new uint32) bool { return p.v.CompareAndSwa
 type Bool struct {
 	_ [CacheLineSize - 4]byte
 	v atomic.Uint32
-	_ [CacheLineSize - 4]byte
+	_ [CacheLineSize]byte
 }
 
 // Load atomically loads the value.
@@ -78,7 +90,7 @@ func (p *Bool) Store(val bool) {
 type Pointer[T any] struct {
 	_ [CacheLineSize - 8]byte
 	v atomic.Pointer[T]
-	_ [CacheLineSize - 8]byte
+	_ [CacheLineSize]byte
 }
 
 // Load atomically loads the pointer.

@@ -1,0 +1,80 @@
+package padded
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// Compile-time layout assertions: a negative array length is a compile
+// error, so these declarations fail the build (not just the test run) the
+// moment a cell stops filling a whole number of cache lines or its payload
+// drifts off the intended offset. The runtime table below repeats the checks
+// with readable failure messages.
+const (
+	_uint64Cells  = unsafe.Sizeof(Uint64{}) / CacheLineSize
+	_uint32Cells  = unsafe.Sizeof(Uint32{}) / CacheLineSize
+	_boolCells    = unsafe.Sizeof(Bool{}) / CacheLineSize
+	_pointerCells = unsafe.Sizeof(Pointer[int]{}) / CacheLineSize
+)
+
+var (
+	_ [unsafe.Sizeof(Uint64{}) % CacheLineSize]struct{}       = [0]struct{}{}
+	_ [unsafe.Sizeof(Uint32{}) % CacheLineSize]struct{}       = [0]struct{}{}
+	_ [unsafe.Sizeof(Bool{}) % CacheLineSize]struct{}         = [0]struct{}{}
+	_ [unsafe.Sizeof(Pointer[int]{}) % CacheLineSize]struct{} = [0]struct{}{}
+)
+
+// TestCellSizes pins the exact layout contract of every padded cell: the
+// whole cell is a multiple of CacheLineSize, and the payload begins exactly
+// one line into the cell (lead pad = CacheLineSize - sizeof(payload)), so
+// that no allocation alignment can place a mutable neighbor on the payload's
+// line in either direction.
+func TestCellSizes(t *testing.T) {
+	var (
+		u64 Uint64
+		u32 Uint32
+		b   Bool
+		p   Pointer[int]
+	)
+	cases := []struct {
+		name        string
+		size        uintptr
+		payloadOff  uintptr
+		payloadSize uintptr
+	}{
+		{"Uint64", unsafe.Sizeof(u64), unsafe.Offsetof(u64.v), unsafe.Sizeof(u64.v)},
+		{"Uint32", unsafe.Sizeof(u32), unsafe.Offsetof(u32.v), unsafe.Sizeof(u32.v)},
+		{"Bool", unsafe.Sizeof(b), unsafe.Offsetof(b.v), unsafe.Sizeof(b.v)},
+		{"Pointer[int]", unsafe.Sizeof(p), unsafe.Offsetof(p.v), unsafe.Sizeof(p.v)},
+	}
+	for _, c := range cases {
+		if c.size%CacheLineSize != 0 {
+			t.Errorf("%s: size %d is not a multiple of the %d-byte cache line", c.name, c.size, CacheLineSize)
+		}
+		if c.size != 2*CacheLineSize {
+			t.Errorf("%s: size %d, want exactly two cache lines (%d)", c.name, c.size, 2*CacheLineSize)
+		}
+		if want := uintptr(CacheLineSize) - c.payloadSize; c.payloadOff != want {
+			t.Errorf("%s: payload at offset %d, want %d (lead pad = line - sizeof(payload))", c.name, c.payloadOff, want)
+		}
+		if c.payloadOff+c.payloadSize != CacheLineSize {
+			t.Errorf("%s: payload ends at %d, want it flush against the first line boundary (%d)",
+				c.name, c.payloadOff+c.payloadSize, CacheLineSize)
+		}
+	}
+}
+
+// TestArrayElementIsolation checks the property the trailing pad buys:
+// consecutive cells in an array keep their payloads at least a full cache
+// line apart, so a server storing into one slot's cell never invalidates the
+// line a neighbor spins on.
+func TestArrayElementIsolation(t *testing.T) {
+	var arr [2]Uint32
+	d := uintptr(unsafe.Pointer(&arr[1].v)) - uintptr(unsafe.Pointer(&arr[0].v))
+	if d < CacheLineSize {
+		t.Fatalf("adjacent payloads %d bytes apart, want >= %d", d, CacheLineSize)
+	}
+	if d%CacheLineSize != 0 {
+		t.Fatalf("payload stride %d is not line-aligned", d)
+	}
+}

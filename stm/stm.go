@@ -162,16 +162,22 @@ func (s *System) Config() Config { return s.sys.Config() }
 // requests array. Use from a single goroutine at a time.
 type Thread struct {
 	th *core.Thread
-	tx Tx
 }
 
 // Atomically executes fn as a transaction, retrying until it commits. A
 // non-nil error from fn aborts the transaction (discarding its writes) and
 // is returned.
+//
+// The wrapper Tx is a local of this call, not Thread state: parking the
+// *core.Tx in a long-lived struct would let it outlive the atomic block it
+// is only valid inside (stmlint's tx-escape check rejects exactly that).
+// Retries reuse the same local, so the cost is one stack slot per
+// Atomically call, not per attempt.
 func (t *Thread) Atomically(fn func(*Tx) error) error {
+	var tx Tx
 	return t.th.Atomically(func(inner *core.Tx) error {
-		t.tx.inner = inner
-		return fn(&t.tx)
+		tx.inner = inner
+		return fn(&tx)
 	})
 }
 
