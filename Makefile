@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet lint race bench-groupcommit
+.PHONY: verify build test vet lint race bench-groupcommit bench-scan
 
 ## verify: the full pre-merge gate — vet, the invariant linter, build, tests,
 ## and the race detector over the packages with real concurrency.
@@ -26,3 +26,9 @@ race:
 ## bench-groupcommit: regenerate results/BENCH_group_commit.json (live mode).
 bench-groupcommit:
 	$(GO) run ./cmd/rinval-bench -exp groupcommit -mode live
+
+## bench-scan: short-mode invalidation-scan sweep (flat vs two-level) into
+## results/BENCH_inval_scan.json. The checked-in report uses -iters 3000;
+## this target trades stability for speed so CI can smoke-run it.
+bench-scan:
+	$(GO) run ./cmd/rinval-bench -exp invalscan -mode live -iters 300

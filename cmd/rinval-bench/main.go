@@ -16,6 +16,7 @@
 //	rinval-bench -exp ablTL2           # ablation: coarse family vs TL2
 //	rinval-bench -exp latency -mode live  # per-transaction latency percentiles
 //	rinval-bench -exp groupcommit -mode live -out results/BENCH_group_commit.json
+//	rinval-bench -exp invalscan -mode live -out results/BENCH_inval_scan.json
 //	rinval-bench -exp fig7a -mode live -trace out.json   # Perfetto lifecycle trace
 //	rinval-bench -exp fig7a -mode live -metrics :8080    # expvar + pprof endpoint
 //
@@ -43,12 +44,12 @@ import (
 var validExps = []string{
 	"fig7a", "fig7b", "fig2", "fig3", "fig8",
 	"ablK", "ablSteps", "ablJitter", "ablBloom", "ablReadSet", "ablTL2",
-	"latency", "groupcommit",
+	"latency", "groupcommit", "invalscan",
 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig7a", "experiment: fig2|fig3|fig7a|fig7b|fig8|ablK|ablJitter|ablSteps|ablBloom|ablReadSet|ablTL2|latency|groupcommit")
+		exp      = flag.String("exp", "fig7a", "experiment: fig2|fig3|fig7a|fig7b|fig8|ablK|ablJitter|ablSteps|ablBloom|ablReadSet|ablTL2|latency|groupcommit|invalscan")
 		mode     = flag.String("mode", "sim", "execution mode: sim (64-core model) or live (this machine)")
 		threads  = flag.String("threads", "2,4,8,16,24,32,48,64", "comma-separated thread counts")
 		app      = flag.String("app", "", "restrict fig8 to one STAMP app")
@@ -56,8 +57,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		svgDir   = flag.String("svg", "", "also render each table as an SVG chart into this directory")
-		out      = flag.String("out", "", "groupcommit: JSON output path (default results/BENCH_group_commit.json)")
-		iters    = flag.Int("iters", 400, "groupcommit: committed transactions per client")
+		out      = flag.String("out", "", "groupcommit/invalscan: JSON output path (default results/BENCH_<exp>.json)")
+		iters    = flag.Int("iters", 400, "groupcommit/invalscan: committed transactions per client")
 		trace    = flag.String("trace", "", "live mode: write a Chrome trace-event JSON of the last benchmark point to this path (open in Perfetto)")
 		metrics  = flag.String("metrics", "", "serve expvar and pprof on this address (e.g. :8080) for the duration of the run")
 	)
@@ -83,6 +84,12 @@ func main() {
 
 	if *exp == "groupcommit" {
 		if err := runGroupCommit(*mode, *out, *iters); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *exp == "invalscan" {
+		if err := runInvalScan(*mode, *out, *iters); err != nil {
 			fatal(err)
 		}
 		return
@@ -248,6 +255,38 @@ func runGroupCommit(mode, out string, iters int) error {
 			Batches: []int{1, 4, 16},
 			Iters:   iters,
 		})
+	if err != nil {
+		return err
+	}
+	rep.Format(os.Stdout)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runInvalScan sweeps MaxThreads at a fixed in-flight client count, once
+// under the seed flat scan and once under the two-level scan, and writes the
+// JSON report consumed by the acceptance checks: two-level scan-phase time
+// must stay flat as the slot array grows while the flat scan grows linearly.
+func runInvalScan(mode, out string, iters int) error {
+	if mode != "live" {
+		return fmt.Errorf("invalscan is live-only (it measures the real commit-server scan)")
+	}
+	if out == "" {
+		out = "results/BENCH_inval_scan.json"
+	}
+	rep, err := bench.RunInvalScan(bench.InvalScanOpts{
+		MaxThreads: []int{8, 16, 32, 64},
+		Clients:    4,
+		Iters:      iters,
+	})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// InvalScanOpts parameterizes the two-level invalidation-scan sweep: a fixed
+// number of in-flight client threads run disjoint blind writes while the
+// slot-array size (Config.MaxThreads) grows, once under the seed flat scan
+// and once under the two-level scan (active bitmap + summary signatures).
+// The interesting output is the commit-server's per-epoch scan-phase times:
+// flat-scan cost grows with MaxThreads (every slot is visited and its filter
+// intersected), two-level cost tracks the in-flight count and stays flat.
+type InvalScanOpts struct {
+	MaxThreads []int // slot-array sizes to sweep (the scan-length axis)
+	Clients    int   // in-flight client threads, fixed across the sweep (default 4)
+	Iters      int   // committed write transactions per client
+	VarsPer    int   // private Vars per client (default 4)
+}
+
+// InvalScanPoint is one (maxThreads, scan-mode) measurement on RInvalV1,
+// whose commit-server runs both O(MaxThreads) phases the two-level scan
+// attacks: the pending-request collection scan (scan_ns) and the inline
+// invalidation scan (inval_scan_ns).
+type InvalScanPoint struct {
+	Algo        string  `json:"algo"`
+	MaxThreads  int     `json:"max_threads"`
+	Clients     int     `json:"clients"`
+	FlatScan    bool    `json:"flat_scan"`
+	DurationNs  int64   `json:"duration_ns"`
+	Commits     uint64  `json:"commits"`
+	Epochs      uint64  `json:"epochs"`
+	KTxPerSec   float64 `json:"ktx_per_sec"`
+	ScanNsMean  float64 `json:"scan_ns_mean"`       // collection scan per epoch
+	ScanNsMax   uint64  `json:"scan_ns_max"`
+	InvalNsMean float64 `json:"inval_scan_ns_mean"` // inline invalidation scan per epoch
+	InvalNsMax  uint64  `json:"inval_scan_ns_max"`
+}
+
+// InvalScanReport is the full sweep, serialized to BENCH_inval_scan.json.
+type InvalScanReport struct {
+	Workload string           `json:"workload"`
+	Clients  int              `json:"clients"`
+	Iters    int              `json:"iters_per_client"`
+	Points   []InvalScanPoint `json:"points"`
+}
+
+// RunInvalScan executes the sweep on the live RInvalV1 engine (the variant
+// whose commit-server performs the invalidation scan inline, so both scan
+// phases land in the Stats.Server histograms). For every MaxThreads value it
+// measures the flat (seed) path first, then the two-level path.
+func RunInvalScan(o InvalScanOpts) (*InvalScanReport, error) {
+	if o.Iters < 1 {
+		return nil, fmt.Errorf("bench: inval-scan iters must be >= 1")
+	}
+	if o.Clients == 0 {
+		o.Clients = 4
+	}
+	if o.VarsPer == 0 {
+		o.VarsPer = 4
+	}
+	rep := &InvalScanReport{
+		Workload: fmt.Sprintf("disjoint blind writes, %d private vars per client, %d in-flight clients",
+			o.VarsPer, o.Clients),
+		Clients: o.Clients,
+		Iters:   o.Iters,
+	}
+	for _, mt := range o.MaxThreads {
+		if mt < o.Clients {
+			return nil, fmt.Errorf("bench: MaxThreads %d < %d clients", mt, o.Clients)
+		}
+		for _, flat := range []bool{true, false} {
+			p, err := runInvalScanPoint(mt, flat, o)
+			if err != nil {
+				return nil, err
+			}
+			rep.Points = append(rep.Points, p)
+		}
+	}
+	return rep, nil
+}
+
+func runInvalScanPoint(maxThreads int, flat bool, o InvalScanOpts) (InvalScanPoint, error) {
+	sys, err := stm.New(stm.Config{
+		Algo:       stm.RInvalV1,
+		MaxThreads: maxThreads,
+		MaxBatch:   8,
+		FlatScan:   flat,
+		// Phase timing on: the point of the sweep is the commit-server's
+		// per-epoch scan histograms.
+		Stats: true,
+	})
+	if err != nil {
+		return InvalScanPoint{}, err
+	}
+
+	ths := make([]*stm.Thread, o.Clients)
+	for i := range ths {
+		ths[i], err = sys.Register()
+		if err != nil {
+			sys.Close()
+			return InvalScanPoint{}, err
+		}
+	}
+	vars := make([][]*stm.Var[int], o.Clients)
+	for i := range vars {
+		vars[i] = make([]*stm.Var[int], o.VarsPer)
+		for j := range vars[i] {
+			vars[i][j] = stm.NewVar(0)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, o.Clients)
+	start := time.Now()
+	for w := 0; w < o.Clients; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mine := vars[w]
+			for i := 0; i < o.Iters; i++ {
+				errs[w] = ths[w].Atomically(func(tx *stm.Tx) error {
+					mine[i%len(mine)].Store(tx, i)
+					return nil
+				})
+				if errs[w] != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, th := range ths {
+		th.Close()
+	}
+	if err := sys.Close(); err != nil {
+		return InvalScanPoint{}, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return InvalScanPoint{}, e
+		}
+	}
+
+	commits := uint64(o.Clients) * uint64(o.Iters)
+	st := sys.Stats() // post-Close: includes the commit-server's histograms
+	return InvalScanPoint{
+		Algo:        stm.RInvalV1.String(),
+		MaxThreads:  maxThreads,
+		Clients:     o.Clients,
+		FlatScan:    flat,
+		DurationNs:  elapsed.Nanoseconds(),
+		Commits:     commits,
+		Epochs:      st.Epochs,
+		KTxPerSec:   float64(commits) / elapsed.Seconds() / 1e3,
+		ScanNsMean:  st.Server.ScanNs.Mean(),
+		ScanNsMax:   st.Server.ScanNs.Max(),
+		InvalNsMean: st.Server.InvalWaitNs.Mean(),
+		InvalNsMax:  st.Server.InvalWaitNs.Max(),
+	}, nil
+}
+
+// WriteJSON serializes the report with stable indentation.
+func (r *InvalScanReport) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Format writes a human-readable table of the sweep.
+func (r *InvalScanReport) Format(w io.Writer) {
+	fmt.Fprintf(w, "== Invalidation scan: %s (%d tx/client) ==\n", r.Workload, r.Iters)
+	fmt.Fprintf(w, "%-10s %11s %9s %12s %13s %14s %15s\n",
+		"scan", "maxthreads", "clients", "ktx/s", "scan ns/epoch", "inval ns/epoch", "epochs")
+	for _, p := range r.Points {
+		mode := "twolevel"
+		if p.FlatScan {
+			mode = "flat"
+		}
+		fmt.Fprintf(w, "%-10s %11d %9d %12.1f %13.0f %14.0f %15d\n",
+			mode, p.MaxThreads, p.Clients, p.KTxPerSec, p.ScanNsMean, p.InvalNsMean, p.Epochs)
+	}
+	fmt.Fprintln(w)
+}

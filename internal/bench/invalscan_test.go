@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunInvalScan runs a tiny sweep and checks the report's invariants:
+// every MaxThreads point appears in both scan modes, commits are exact
+// (conflict-free workload), and the scan-phase histograms were populated
+// (one sample per epoch). Timing ratios are asserted only by the checked-in
+// full run — they are too noisy for CI.
+func TestRunInvalScan(t *testing.T) {
+	rep, err := RunInvalScan(InvalScanOpts{MaxThreads: []int{4, 8}, Clients: 2, Iters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2*2 {
+		t.Fatalf("points = %d, want 4 (two modes per MaxThreads value)", len(rep.Points))
+	}
+	flats := 0
+	for _, p := range rep.Points {
+		if p.FlatScan {
+			flats++
+		}
+		if p.Commits != uint64(p.Clients)*50 {
+			t.Errorf("mt=%d flat=%v: commits = %d, want %d",
+				p.MaxThreads, p.FlatScan, p.Commits, p.Clients*50)
+		}
+		if p.Epochs == 0 {
+			t.Errorf("mt=%d flat=%v: no epochs recorded", p.MaxThreads, p.FlatScan)
+		}
+		if p.ScanNsMean <= 0 {
+			t.Errorf("mt=%d flat=%v: empty collection-scan histogram", p.MaxThreads, p.FlatScan)
+		}
+		if p.InvalNsMean <= 0 {
+			t.Errorf("mt=%d flat=%v: empty invalidation-scan histogram", p.MaxThreads, p.FlatScan)
+		}
+	}
+	if flats != 2 {
+		t.Fatalf("flat-scan points = %d, want 2", flats)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round InvalScanReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(round.Points) != len(rep.Points) {
+		t.Fatalf("round-trip lost points: %d != %d", len(round.Points), len(rep.Points))
+	}
+
+	rep.Format(&buf) // smoke: must not panic
+}

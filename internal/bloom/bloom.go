@@ -14,6 +14,15 @@
 // bits while invalidation servers intersect against it, so its words are
 // atomics and Add uses a release-ordered OR — a reader that observes the bit
 // also observes everything the adder did before setting it.
+//
+// Both variants additionally maintain a 64-bit summary signature: every set
+// bit at position b also sets summary bit b&63. The summary is a strict
+// column-fold of the filter words, so two filters whose summaries are
+// disjoint cannot share a set bit — an invalidation scan can reject a
+// non-conflicting read set with one word load + AND instead of touching all
+// filter words (two cache lines at the default 1024-bit geometry). The fold
+// is conservative the same way the filter is: a summary hit commits the scan
+// to the full intersection, a summary miss is proof of no conflict.
 package bloom
 
 import "sync/atomic"
@@ -65,6 +74,7 @@ func (p Params) positions(id uint64, out []uint) []uint {
 // use Atomic for filters read by other threads.
 type Filter struct {
 	p     Params
+	sum   uint64 // summary signature: OR-fold of words onto 64 bits
 	words []uint64
 	pos   []uint // scratch, avoids per-Add allocation
 }
@@ -87,6 +97,7 @@ func (f *Filter) Add(id uint64) {
 	f.pos = f.p.positions(id, f.pos)
 	for _, b := range f.pos {
 		f.words[b>>6] |= 1 << (b & 63)
+		f.sum |= 1 << (b & 63)
 	}
 }
 
@@ -107,6 +118,7 @@ func (f *Filter) Clear() {
 	for i := range f.words {
 		f.words[i] = 0
 	}
+	f.sum = 0
 }
 
 // Empty reports whether no bits are set.
@@ -122,6 +134,11 @@ func (f *Filter) Empty() bool {
 // Intersects reports whether f and g share at least one set bit. Both filters
 // must have the same geometry.
 func (f *Filter) Intersects(g *Filter) bool {
+	if f.sum&g.sum == 0 {
+		// Summaries are supersets of the word fold: disjoint summaries prove
+		// disjoint filters without touching the word arrays.
+		return false
+	}
 	for i, w := range f.words {
 		if w&g.words[i] != 0 {
 			return true
@@ -133,6 +150,7 @@ func (f *Filter) Intersects(g *Filter) bool {
 // CopyFrom makes f an exact copy of g (same geometry required).
 func (f *Filter) CopyFrom(g *Filter) {
 	copy(f.words, g.words)
+	f.sum = g.sum
 }
 
 // UnionWith adds every element of g to f (same geometry required). Group
@@ -142,6 +160,7 @@ func (f *Filter) UnionWith(g *Filter) {
 	for i, w := range g.words {
 		f.words[i] |= w
 	}
+	f.sum |= g.sum
 }
 
 // UnionAtomic adds every element currently in a to f (same geometry
@@ -152,7 +171,17 @@ func (f *Filter) UnionAtomic(a *Atomic) {
 	for i := range a.words {
 		f.words[i] |= a.words[i].Load()
 	}
+	// Atomic.Add publishes the summary bit before the word bit, so loading
+	// the summary after the words keeps f.sum a superset of f.words' fold
+	// even against a concurrent Add.
+	f.sum |= a.sum.Load()
 }
+
+// Summary returns the 64-bit summary signature. Disjoint summaries imply
+// disjoint filters; see the package comment.
+//
+//stm:hotpath
+func (f *Filter) Summary() uint64 { return f.sum }
 
 // Clone returns an independent copy of f.
 func (f *Filter) Clone() *Filter {
@@ -178,7 +207,14 @@ func (f *Filter) PopCount() int {
 // only writer of bits (via Add) and the only caller of Clear; invalidation
 // servers only read.
 type Atomic struct {
-	p     Params
+	p Params
+	// sum is the summary signature. It lives in the Atomic header next to
+	// the read-only geometry and slice header, so a scanner's summary-miss
+	// path touches exactly one cache line. Invariant: sum is always a
+	// superset of the column-fold of words — Add sets the summary bit before
+	// the word bits, so no observer can see a word bit whose summary bit is
+	// missing.
+	sum   atomic.Uint64
 	words []atomic.Uint64
 }
 
@@ -195,14 +231,18 @@ func (a *Atomic) Params() Params { return a.p }
 
 // Add inserts id. The atomic OR publishes the bit with release semantics:
 // once an invalidation server observes the bit, it also observes the read
-// that the bit describes.
+// that the bit describes. The summary bit is set first so a scanner that
+// observes a word bit always observes its summary bit too.
 func (a *Atomic) Add(id uint64) {
 	var posBuf [8]uint
 	pos := a.p.positions(id, posBuf[:0])
 	for _, b := range pos {
-		w := &a.words[b>>6]
 		bit := uint64(1) << (b & 63)
-		if w.Load()&bit == 0 { // avoid write traffic for already-set bits
+		if a.sum.Load()&bit == 0 { // avoid write traffic for already-set bits
+			a.sum.Or(bit)
+		}
+		w := &a.words[b>>6]
+		if w.Load()&bit == 0 {
 			w.Or(bit)
 		}
 	}
@@ -210,11 +250,14 @@ func (a *Atomic) Add(id uint64) {
 
 // Clear removes all elements. Only the owner may call it, between
 // transactions (never while a commit that could observe the filter is in
-// flight against the owner's current epoch).
+// flight against the owner's current epoch). The words are cleared before
+// the summary for the same invariant Add preserves: sum covers words at
+// every intermediate point.
 func (a *Atomic) Clear() {
 	for i := range a.words {
 		a.words[i].Store(0)
 	}
+	a.sum.Store(0)
 }
 
 // IntersectsFilter reports whether a and the plain filter g share a set bit.
@@ -227,6 +270,22 @@ func (a *Atomic) IntersectsFilter(g *Filter) bool {
 	}
 	return false
 }
+
+// SummaryIntersects reports whether a's summary signature shares a bit with
+// sum. A false result proves a full IntersectsFilter against any filter with
+// summary sum would also be false; a true result decides nothing. Safe to
+// call concurrently with the owner's Add — this is the invalidation scan's
+// level-1 rejection test, one atomic load + AND.
+//
+//stm:hotpath
+func (a *Atomic) SummaryIntersects(sum uint64) bool {
+	return a.sum.Load()&sum != 0
+}
+
+// Summary returns the current summary signature.
+//
+//stm:hotpath
+func (a *Atomic) Summary() uint64 { return a.sum.Load() }
 
 // MayContain reports whether id may have been added.
 func (a *Atomic) MayContain(id uint64) bool {
@@ -245,4 +304,7 @@ func (a *Atomic) Snapshot(dst *Filter) {
 	for i := range a.words {
 		dst.words[i] = a.words[i].Load()
 	}
+	// After the words, as in UnionAtomic: the summary stays a superset of
+	// the fold of the copied words.
+	dst.sum = a.sum.Load()
 }

@@ -285,3 +285,140 @@ func BenchmarkIntersect(b *testing.B) {
 		a.IntersectsFilter(g)
 	}
 }
+
+// foldWords is the reference summary: the OR of all filter words folded onto
+// 64 bits. The tests below compare the maintained summaries against it so
+// they do not depend on (or trust) the incremental bookkeeping under test.
+func foldWords(words []uint64) uint64 {
+	var s uint64
+	for _, w := range words {
+		s |= w
+	}
+	return s
+}
+
+// wordsIntersect is the reference full intersection, bypassing the summary
+// fast path inside Filter.Intersects.
+func wordsIntersect(a, b []uint64) bool {
+	for i := range a {
+		if a[i]&b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSummaryIsExactFoldOnFilter: through Add/Clear/CopyFrom/UnionWith/Clone
+// the single-owner filter's summary stays exactly the column-fold of its
+// words.
+func TestSummaryIsExactFoldOnFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := NewFilter(testParams)
+	g := NewFilter(testParams)
+	for step := 0; step < 2000; step++ {
+		switch rng.Intn(10) {
+		case 0:
+			f.Clear()
+		case 1:
+			g.Clear()
+		case 2:
+			f.UnionWith(g)
+		case 3:
+			g.CopyFrom(f)
+		case 4:
+			f = g.Clone()
+		default:
+			f.Add(rng.Uint64())
+			g.Add(rng.Uint64())
+		}
+		for name, x := range map[string]*Filter{"f": f, "g": g} {
+			if x.Summary() != foldWords(x.words) {
+				t.Fatalf("step %d: %s summary %x != fold %x", step, name, x.Summary(), foldWords(x.words))
+			}
+		}
+	}
+}
+
+// TestSummaryNeverFalseNegative is the two-level safety property: for random
+// add-sets, a summary miss implies a full-intersection miss, on both the
+// plain Filter and the Atomic read filter. (The converse — summary hit with
+// a full miss — is allowed and expected; the summary is conservative.)
+func TestSummaryNeverFalseNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		f := NewFilter(testParams)
+		a := NewAtomic(testParams)
+		w := NewFilter(testParams) // the "write filter" both are tested against
+		for i, n := 0, rng.Intn(20); i < n; i++ {
+			id := rng.Uint64()
+			f.Add(id)
+			a.Add(id)
+		}
+		for i, n := 0, rng.Intn(20); i < n; i++ {
+			w.Add(rng.Uint64())
+		}
+		snap := NewFilter(testParams)
+		a.Snapshot(snap)
+		if f.Summary()&w.Summary() == 0 && wordsIntersect(f.words, w.words) {
+			t.Fatalf("trial %d: Filter summary miss but words intersect", trial)
+		}
+		if !a.SummaryIntersects(w.Summary()) && a.IntersectsFilter(w) {
+			t.Fatalf("trial %d: Atomic summary miss but full intersect hits", trial)
+		}
+		if snap.Summary() != foldWords(snap.words) {
+			// Quiescent snapshot: summary must equal the fold exactly.
+			t.Fatalf("trial %d: snapshot summary %x != fold %x", trial, snap.Summary(), foldWords(snap.words))
+		}
+		// Intersects' summary fast path must agree with the word-level truth.
+		if f.Intersects(w) != wordsIntersect(f.words, w.words) {
+			t.Fatalf("trial %d: Intersects disagrees with word-level intersection", trial)
+		}
+	}
+}
+
+// TestAtomicSummarySupersetUnderConcurrentAdds: while an owner adds bits,
+// concurrent observers must never catch a word bit whose summary bit is
+// missing — the invariant the two-level scan's safety rests on (Atomic.Add
+// orders the summary OR before the word OR). The owner never Clears here:
+// the STM owner only clears between transactions, when no scan against the
+// current incarnation can be in flight, so the concurrent invariant is the
+// Add-only one and it is strict.
+func TestAtomicSummarySupersetUnderConcurrentAdds(t *testing.T) {
+	a := NewAtomic(testParams)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(3))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a.Add(rng.Uint64())
+		}
+	}()
+	for trial := 0; trial < 5000; trial++ {
+		// Words first, summary second: every bit in the fold was published
+		// after its summary bit, so the later summary load must cover it.
+		var fold uint64
+		for i := range a.words {
+			fold |= a.words[i].Load()
+		}
+		if sum := a.Summary(); fold&^sum != 0 {
+			t.Fatalf("trial %d: word fold %x not covered by summary %x", trial, fold, sum)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Clear is owner-only and quiescent; after it both levels are empty.
+	a.Clear()
+	snap := NewFilter(testParams)
+	a.Snapshot(snap)
+	if a.Summary() != 0 || !snap.Empty() {
+		t.Fatal("Clear left summary or word bits behind")
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+
+	"github.com/ssrg-vt/rinval/internal/padded"
+)
+
+// TestActiveSetBasics exercises set/clear/has across word boundaries.
+func TestActiveSetBasics(t *testing.T) {
+	a := newActiveSet(130) // three words
+	if len(a.words) != 3 {
+		t.Fatalf("words = %d, want 3", len(a.words))
+	}
+	for _, i := range []int{0, 1, 63, 64, 127, 128, 129} {
+		if a.has(i) {
+			t.Fatalf("fresh bitmap has bit %d", i)
+		}
+		a.set(i)
+		if !a.has(i) {
+			t.Fatalf("set(%d) not visible", i)
+		}
+	}
+	a.clear(64)
+	if a.has(64) || !a.has(63) || !a.has(127) {
+		t.Fatal("clear(64) affected the wrong bits")
+	}
+	// nextSlot peels bits in ascending order within a word.
+	b := a.words[0].Load()
+	if i := nextSlot(0, &b); i != 0 {
+		t.Fatalf("first bit = %d, want 0", i)
+	}
+	if i := nextSlot(0, &b); i != 1 {
+		t.Fatalf("second bit = %d, want 1", i)
+	}
+	if i := nextSlot(0, &b); i != 63 {
+		t.Fatalf("third bit = %d, want 63", i)
+	}
+	if b != 0 {
+		t.Fatalf("word not exhausted: %x", b)
+	}
+}
+
+// TestActiveSetWordPadding: the bitmap words are padded cells, so adjacent
+// words (each the begin/deactivate write traffic of 64 slots) never share a
+// cache line. Mirrors the slot layout tests for the new shared structure.
+func TestActiveSetWordPadding(t *testing.T) {
+	a := newActiveSet(128)
+	p0 := uintptr(unsafe.Pointer(&a.words[0]))
+	p1 := uintptr(unsafe.Pointer(&a.words[1]))
+	if d := p1 - p0; d < padded.CacheLineSize || d%padded.CacheLineSize != 0 {
+		t.Fatalf("adjacent bitmap words %d bytes apart, want a positive cache-line multiple", d)
+	}
+	if sz := unsafe.Sizeof(a.words[0]); sz%padded.CacheLineSize != 0 {
+		t.Fatalf("bitmap word cell is %d bytes, not a cache-line multiple", sz)
+	}
+}
+
+// TestActiveBitmapTracksTransactions: the bit is set exactly while a
+// transaction is in flight in the slot (for engines that use slots), and the
+// whole bitmap is clear once the system quiesces.
+func TestActiveBitmapTracksTransactions(t *testing.T) {
+	for _, algo := range []Algo{InvalSTM, RInvalV1, RInvalV2} {
+		t.Run(algo.String(), func(t *testing.T) {
+			s := MustNew(Config{Algo: algo, MaxThreads: 8, InvalServers: 2})
+			th := s.MustRegister()
+			if s.active.has(th.idx) {
+				t.Fatal("bit set before any transaction")
+			}
+			if err := th.Atomically(func(tx *Tx) error {
+				if !s.active.has(th.idx) {
+					t.Error("bit not set inside transaction")
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if s.active.has(th.idx) {
+				t.Fatal("bit still set after commit")
+			}
+			th.Close()
+			for w := range s.active.words {
+				if got := s.active.words[w].Load(); got != 0 {
+					t.Fatalf("quiescent bitmap word %d = %x", w, got)
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestActiveBitmapChurn is the concurrent doom test: client threads churn
+// begin/deactivate (read-modify-writes on two shared counters, so the
+// commit-time invalidation scan constantly walks the bitmap and dooms
+// readers) while the scan path runs in the servers and in inline committers.
+// Run under -race this checks the bitmap orderings; the final counter sum
+// checks no lost updates — i.e. the bitmap never hid a live conflicting
+// reader from the scan.
+func TestActiveBitmapChurn(t *testing.T) {
+	for _, algo := range []Algo{InvalSTM, RInvalV1, RInvalV2, RInvalV3} {
+		t.Run(algo.String(), func(t *testing.T) {
+			s := MustNew(Config{Algo: algo, MaxThreads: 16, InvalServers: 4})
+			shared := []*Var{NewVar(0), NewVar(0)}
+			const workers, iters = 8, 200
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := s.MustRegister()
+					defer th.Close()
+					for i := 0; i < iters; i++ {
+						c := shared[(w+i)%len(shared)]
+						if err := th.Atomically(func(tx *Tx) error {
+							tx.Store(c, tx.Load(c).(int)+1)
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			total := shared[0].Peek().(int) + shared[1].Peek().(int)
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if total != workers*iters {
+				t.Errorf("lost updates: counters sum to %d, want %d (a conflicting reader escaped the scan)",
+					total, workers*iters)
+			}
+			for w := range s.active.words {
+				if got := s.active.words[w].Load(); got != 0 {
+					t.Errorf("bitmap word %d = %x after quiesce", w, got)
+				}
+			}
+		})
+	}
+}
+
+// TestFlatScanMatchesTwoLevel runs the same contended workload under the
+// seed scan (FlatScan) and the two-level scan and requires both to preserve
+// every update — the two paths must be semantically interchangeable.
+func TestFlatScanMatchesTwoLevel(t *testing.T) {
+	for _, flat := range []bool{false, true} {
+		name := "twolevel"
+		if flat {
+			name = "flat"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, algo := range []Algo{InvalSTM, RInvalV1, RInvalV2} {
+				s := MustNew(Config{Algo: algo, MaxThreads: 32, InvalServers: 4, FlatScan: flat})
+				counter := NewVar(0)
+				const workers, iters = 6, 150
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						th := s.MustRegister()
+						defer th.Close()
+						for i := 0; i < iters; i++ {
+							if err := th.Atomically(func(tx *Tx) error {
+								tx.Store(counter, tx.Load(counter).(int)+1)
+								return nil
+							}); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				got := counter.Peek().(int)
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if got != workers*iters {
+					t.Errorf("%s/%s: counter = %d, want %d", algo, name, got, workers*iters)
+				}
+			}
+		})
+	}
+}
+
+// TestStoreOverwriteZeroAllocs: the steady-state overwrite path of Tx.Store
+// must not allocate — put mutates the unpublished box in place instead of
+// boxing a fresh one per Store.
+func TestStoreOverwriteZeroAllocs(t *testing.T) {
+	for _, algo := range []Algo{Mutex, InvalSTM} {
+		t.Run(algo.String(), func(t *testing.T) {
+			s := MustNew(Config{Algo: algo, MaxThreads: 2})
+			defer s.Close()
+			th := s.MustRegister()
+			defer th.Close()
+			v := NewVar(0)
+			// Pre-boxed value: interface conversion happens once, out here,
+			// so the measurement isolates the write-set path.
+			var val any = 12345
+			var allocs float64
+			if err := th.Atomically(func(tx *Tx) error {
+				tx.Store(v, val) // first write to v buffers a fresh box
+				allocs = testing.AllocsPerRun(200, func() {
+					tx.Store(v, val)
+				})
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if allocs != 0 {
+				t.Errorf("Store overwrite allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestReadLogSkippedWhenStatsOff: the invalidation engines only keep the
+// read log for stats accounting; NOrec (and TL2) always keep it because
+// revalidation replays it.
+func TestReadLogSkippedWhenStatsOff(t *testing.T) {
+	cases := []struct {
+		algo    Algo
+		stats   bool
+		wantLog bool
+	}{
+		{InvalSTM, false, false},
+		{InvalSTM, true, true},
+		{RInvalV2, false, false},
+		{RInvalV2, true, true},
+		{NOrec, false, true},
+		{NOrec, true, true},
+		{TL2, false, true},
+	}
+	for _, c := range cases {
+		s := MustNew(Config{Algo: c.algo, MaxThreads: 4, InvalServers: 2, Stats: c.stats})
+		th := s.MustRegister()
+		v := NewVar(7)
+		var logged int
+		if err := th.Atomically(func(tx *Tx) error {
+			_ = tx.Load(v)
+			logged = tx.rs.len()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		if c.wantLog {
+			want = 1
+		}
+		if logged != want {
+			t.Errorf("%s stats=%v: read log has %d entries, want %d", c.algo, c.stats, logged, want)
+		}
+		th.Close()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

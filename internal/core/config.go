@@ -132,6 +132,14 @@ type Config struct {
 	// ReaderBiasRetries caps how many times a CMReaderBiased writer yields
 	// to readers before it falls back to committer-wins. Default 3.
 	ReaderBiasRetries int
+	// FlatScan disables the two-level invalidation scan (active-transaction
+	// bitmap + per-slot summary signatures) and restores the seed behaviour
+	// of walking every request slot with a full filter intersection. The two
+	// paths are semantically identical — the two-level gates are conservative
+	// and may only skip slots the full check would also pass over — so this
+	// exists for the invalscan benchmark's before/after comparison and for
+	// differential testing, not as a tuning knob. Off by default.
+	FlatScan bool
 	// PinServers dedicates an OS thread to each server goroutine
 	// (runtime.LockOSThread), approximating the paper's core-pinned
 	// deployment on machines with spare cores. Counterproductive when

@@ -53,6 +53,12 @@ type remoteEngine struct {
 	batchRS   *bloom.Filter
 	batchMask slotMask
 
+	// scanBuf/epochBuf hold the candidate slots of the outer request scan
+	// and of one epoch's collection pass — the active bitmap's word-decoded
+	// indices (or every slot under FlatScan). Reused, commit-server-owned.
+	scanBuf  []int
+	epochBuf []int
+
 	commitSrv Stats   // commit-server activity (valid after servers stop)
 	invalSrv  []Stats // per-invalidation-server activity
 
@@ -75,6 +81,8 @@ func newRemoteEngine(sys *System, numInval, stepsAhead int) *remoteEngine {
 		batchWS:    bloom.NewFilter(sys.cfg.Bloom),
 		batchRS:    bloom.NewFilter(sys.cfg.Bloom),
 		batchMask:  newSlotMask(sys.cfg.MaxThreads),
+		scanBuf:    make([]int, 0, sys.cfg.MaxThreads),
+		epochBuf:   make([]int, 0, sys.cfg.MaxThreads),
 	}
 	for i := range e.sigBufs {
 		e.sigBufs[i] = bloom.NewFilter(sys.cfg.Bloom)
@@ -179,7 +187,12 @@ func (e *remoteEngine) commitServerMain(stop func() bool) {
 	var w spin.Waiter
 	for !stop() {
 		progress := false
-		for i := range sys.slots {
+		// Candidates come from the active bitmap: a PENDING requester is
+		// ALIVE for its whole wait, so its bit is set, and the per-candidate
+		// state check below filters the (routine) stale bits. A request
+		// published after the bitmap snapshot is picked up on the next pass.
+		e.scanBuf = sys.appendPendingCandidates(e.scanBuf[:0], 0)
+		for _, i := range e.scanBuf {
 			if sys.slots[i].state.Load() != reqPending {
 				continue
 			}
@@ -244,7 +257,11 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 	e.batchWS.Clear()
 	e.batchRS.Clear()
 	pending := uint64(0) // queue depth: every PENDING request the scan saw
-	for j := first; j < len(sys.slots) && len(e.batchIdx) < e.maxBatch; j++ {
+	e.epochBuf = sys.appendPendingCandidates(e.epochBuf[:0], first)
+	for _, j := range e.epochBuf {
+		if len(e.batchIdx) >= e.maxBatch {
+			break
+		}
 		s := &sys.slots[j]
 		if s.state.Load() != reqPending {
 			continue

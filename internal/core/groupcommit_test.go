@@ -18,7 +18,8 @@ var rinvalAlgos = []Algo{RInvalV1, RInvalV2, RInvalV3}
 func postPending(s *System, th *Thread, v *Var, val any) *slot {
 	sl := th.slot
 	ws := newWriteSet(s.cfg.Bloom)
-	ws.put(v, &box{v: val})
+	ws.put(v, val)
+	s.active.set(th.idx) // as Tx.begin would: bit before the ALIVE store
 	epoch := (sl.status.Load() >> epochShift) + 1
 	sl.status.Store(statusWord(epoch, txAlive))
 	sl.req.Store(&commitReq{ws: ws})
@@ -27,10 +28,11 @@ func postPending(s *System, th *Thread, v *Var, val any) *slot {
 }
 
 // settle returns a slot to idle after a manual epoch so Close can succeed.
-func settle(sl *slot) {
+func settle(s *System, idx int, sl *slot) {
 	sl.state.Store(reqIdle)
 	sl.req.Store(nil)
 	sl.status.Store(sl.status.Load() &^ statusBits)
+	s.active.clear(idx)
 }
 
 // TestGroupCommitDisjointBatchOneEpoch: a batch of N disjoint writers is
@@ -81,7 +83,7 @@ func TestGroupCommitDisjointBatchOneEpoch(t *testing.T) {
 				if got := vars[i].Peek(); got != i+100 {
 					t.Errorf("vars[%d] = %v, want %d", i, got, i+100)
 				}
-				settle(slots[i])
+				settle(s, ths[i].idx, slots[i])
 				ths[i].Close()
 			}
 			if err := s.Close(); err != nil {
@@ -184,8 +186,8 @@ func TestGroupCommitConflictSplitsEpochs(t *testing.T) {
 					}
 				}
 
-				settle(sl0)
-				settle(sl1)
+				settle(s, th0.idx, sl0)
+				settle(s, th1.idx, sl1)
 				th0.Close()
 				th1.Close()
 				if err := s.Close(); err != nil {
@@ -412,8 +414,8 @@ func TestSetResetReleasesPointers(t *testing.T) {
 	}
 
 	ws := newWriteSet(bloom.DefaultParams)
-	ws.put(NewVar(3), &box{v: 3})
-	ws.put(NewVar(4), &box{v: 4})
+	ws.put(NewVar(3), 3)
+	ws.put(NewVar(4), 4)
 	ws.reset()
 	for i, e := range ws.entries[:cap(ws.entries)] {
 		if e.v != nil || e.b != nil {

@@ -71,25 +71,29 @@ func (ws *writeSet) lookup(v *Var) (*box, bool) {
 	return nil, false
 }
 
-// put records a write of b to v, replacing any earlier write to v.
-func (ws *writeSet) put(v *Var, b *box) {
+// put records a write of val to v, replacing any earlier write to v. An
+// overwrite mutates the buffered box in place: the box is private to the
+// write set until writeBack publishes it into the Var (lookup hands out only
+// the value, never the box), so no reader can hold a reference to it yet and
+// the overwrite allocates nothing.
+func (ws *writeSet) put(v *Var, val any) {
 	if ws.idx != nil {
 		if i, ok := ws.idx[v]; ok {
-			ws.entries[i].b = b
+			ws.entries[i].b.v = val
 			return
 		}
-		ws.entries = append(ws.entries, writeEntry{v: v, b: b})
+		ws.entries = append(ws.entries, writeEntry{v: v, b: &box{v: val}})
 		ws.idx[v] = len(ws.entries) - 1
 		ws.bf.Add(v.id)
 		return
 	}
 	for i := range ws.entries {
 		if ws.entries[i].v == v {
-			ws.entries[i].b = b
+			ws.entries[i].b.v = val
 			return
 		}
 	}
-	ws.entries = append(ws.entries, writeEntry{v: v, b: b})
+	ws.entries = append(ws.entries, writeEntry{v: v, b: &box{v: val}})
 	ws.bf.Add(v.id)
 	if len(ws.entries) > wsetMapThreshold {
 		ws.idx = make(map[*Var]int, 2*len(ws.entries))

@@ -14,12 +14,12 @@ func TestWriteSetLinearThenMapPath(t *testing.T) {
 	}
 	// Linear-path inserts and replacement.
 	for i := 0; i < wsetMapThreshold; i++ {
-		ws.put(vars[i], &box{v: i})
+		ws.put(vars[i], i)
 	}
 	if ws.idx != nil {
 		t.Fatal("map built too early")
 	}
-	ws.put(vars[0], &box{v: 999})
+	ws.put(vars[0], 999)
 	if b, ok := ws.lookup(vars[0]); !ok || b.v.(int) != 999 {
 		t.Fatal("linear replacement broken")
 	}
@@ -28,12 +28,12 @@ func TestWriteSetLinearThenMapPath(t *testing.T) {
 	}
 	// Cross the threshold: map path activates.
 	for i := wsetMapThreshold; i < len(vars); i++ {
-		ws.put(vars[i], &box{v: i})
+		ws.put(vars[i], i)
 	}
 	if ws.idx == nil {
 		t.Fatal("map not built past threshold")
 	}
-	ws.put(vars[5], &box{v: 555})
+	ws.put(vars[5], 555)
 	if b, ok := ws.lookup(vars[5]); !ok || b.v.(int) != 555 {
 		t.Fatal("map replacement broken")
 	}
@@ -53,9 +53,9 @@ func TestWriteSetLinearThenMapPath(t *testing.T) {
 func TestWriteSetWriteBackOrder(t *testing.T) {
 	ws := newWriteSet(bloom.DefaultParams)
 	a, b := NewVar(0), NewVar(0)
-	ws.put(a, &box{v: 1})
-	ws.put(b, &box{v: 2})
-	ws.put(a, &box{v: 3}) // replacement keeps program order slot
+	ws.put(a, 1)
+	ws.put(b, 2)
+	ws.put(a, 3) // replacement keeps program order slot
 	ws.writeBack()
 	if a.Peek().(int) != 3 || b.Peek().(int) != 2 {
 		t.Fatalf("writeBack wrong: a=%v b=%v", a.Peek(), b.Peek())

@@ -93,6 +93,15 @@ type System struct {
 	// registrable thread.
 	slots []slot
 
+	// active is the level-0 scan gate: one bit per slot, set while a
+	// transaction is in flight there (see activeSet for the ordering
+	// contract). Unused when cfg.FlatScan walks every slot instead.
+	active activeSet
+
+	// partMask[k] masks active's words down to invalidation-server k's
+	// partition (slots with invalServer == k). Built once at construction.
+	partMask []slotMask
+
 	// mu is the Mutex engine's global lock.
 	mu sync.Mutex
 
@@ -107,6 +116,11 @@ type System struct {
 	ring []padded.Pointer[commitDesc]
 
 	eng engine
+
+	// logReads gates the read-log append in Tx.Load. NOrec and TL2 always
+	// revalidate from the log; the invalidation engines never replay it, so
+	// they keep it only when cfg.Stats wants read-set accounting.
+	logReads bool
 
 	// tracer records lifecycle events when cfg.Trace is set; nil otherwise.
 	// Actors 0..MaxThreads-1 are the client slots; engines append their
@@ -156,12 +170,18 @@ func newSystem(cfg Config) (*System, error) {
 		yieldPerTx: runtime.GOMAXPROCS(0) < 4,
 	}
 	s.slots = make([]slot, cfg.MaxThreads)
+	s.active = newActiveSet(cfg.MaxThreads)
+	s.partMask = make([]slotMask, cfg.InvalServers)
+	for k := range s.partMask {
+		s.partMask[k] = newSlotMask(cfg.MaxThreads)
+	}
 	s.freeSlots = make([]int, 0, cfg.MaxThreads)
 	for i := range s.slots {
 		s.slots[i].readBF = bloom.NewAtomic(cfg.Bloom)
 		s.slots[i].invalServer = i % cfg.InvalServers
 		s.slots[i].selfMask = newSlotMask(cfg.MaxThreads)
 		s.slots[i].selfMask.set(i)
+		s.partMask[i%cfg.InvalServers].set(i)
 		s.freeSlots = append(s.freeSlots, cfg.MaxThreads-1-i)
 	}
 
@@ -192,6 +212,12 @@ func newSystem(cfg Config) (*System, error) {
 		s.eng = newRemoteEngine(s, cfg.InvalServers, cfg.StepsAhead)
 	case TL2:
 		s.eng = &tl2Engine{sys: s}
+	}
+	switch cfg.Algo {
+	case NOrec, TL2:
+		s.logReads = true // revalidation replays the log
+	default:
+		s.logReads = cfg.Stats
 	}
 	return s, nil
 }
@@ -353,37 +379,94 @@ func (s *System) waitEven() uint64 {
 // RInvalV1's commit-server (skip = the epoch's batch members), and
 // per-partition by the invalidation-servers. Each doom is recorded on the
 // invalidator's trace ring (nil when tracing is off).
+//
+// The default path is the two-level scan: level 0 iterates only the slots
+// whose active bit is set (word load + TrailingZeros64, cost proportional to
+// in-flight transactions), level 1 rejects a non-conflicting slot on its
+// 64-bit read-summary signature before committing to the full filter
+// intersection. Both levels are conservative — they may pass a slot the full
+// check would reject, never skip a true conflict — so the doom decision is
+// still made exactly where it was at seed. Config.FlatScan restores the
+// seed's walk over all MaxThreads slots for measurement.
 //stm:hotpath
 func (s *System) invalidateOthers(skip slotMask, bf *bloom.Filter, ring *obs.Ring) uint64 {
 	var doomed uint64
-	for i := range s.slots {
-		if skip.has(i) {
-			continue
+	if s.cfg.FlatScan {
+		for i := range s.slots {
+			if skip.has(i) {
+				continue
+			}
+			doomed += s.invalidateSlotFlat(i, bf, ring)
 		}
-		doomed += s.invalidateSlot(i, bf, ring)
+		return doomed
+	}
+	sum := bf.Summary()
+	for w := range s.active.words {
+		b := s.active.words[w].Load() &^ skip[w]
+		for b != 0 {
+			doomed += s.invalidateSlot(nextSlot(w, &b), sum, bf, ring)
+		}
 	}
 	return doomed
 }
 
 // invalidatePartition is invalidateOthers restricted to invalidation-server
-// k's partition.
+// k's partition (the bitmap words masked by partMask[k]).
 //stm:hotpath
 func (s *System) invalidatePartition(k int, skip slotMask, bf *bloom.Filter, ring *obs.Ring) uint64 {
 	var doomed uint64
-	for i := k; i < len(s.slots); i += s.cfg.InvalServers {
-		if skip.has(i) {
-			continue
+	if s.cfg.FlatScan {
+		for i := k; i < len(s.slots); i += s.cfg.InvalServers {
+			if skip.has(i) {
+				continue
+			}
+			doomed += s.invalidateSlotFlat(i, bf, ring)
 		}
-		doomed += s.invalidateSlot(i, bf, ring)
+		return doomed
+	}
+	sum := bf.Summary()
+	part := s.partMask[k]
+	for w := range s.active.words {
+		b := s.active.words[w].Load() & part[w] &^ skip[w]
+		for b != 0 {
+			doomed += s.invalidateSlot(nextSlot(w, &b), sum, bf, ring)
+		}
 	}
 	return doomed
 }
 
-// invalidateSlot applies the doom check to one slot. The status word is
-// captured before the filter intersection so the CAS can only doom the exact
-// transaction incarnation whose bits were observed.
+// invalidateSlot applies the two-level doom check to one slot whose active
+// bit was observed. The summary rejection comes first so the common
+// non-conflicting case touches a single cache line (the Atomic filter
+// header); the status word is captured before the full filter intersection
+// so the CAS can only doom the exact transaction incarnation whose bits
+// were observed.
 //stm:hotpath
-func (s *System) invalidateSlot(i int, bf *bloom.Filter, ring *obs.Ring) uint64 {
+func (s *System) invalidateSlot(i int, sum uint64, bf *bloom.Filter, ring *obs.Ring) uint64 {
+	sl := &s.slots[i]
+	if !sl.readBF.SummaryIntersects(sum) {
+		return 0
+	}
+	w, alive := sl.aliveWord()
+	if !alive {
+		return 0
+	}
+	if !sl.readBF.IntersectsFilter(bf) {
+		return 0
+	}
+	if sl.tryInvalidate(w) {
+		ring.Instant(obs.KInval, uint64(i))
+		return 1
+	}
+	return 0
+}
+
+// invalidateSlotFlat is the seed-era doom check: no active bitmap (so the
+// slot may be idle — gate on inUse and the status word first) and no summary
+// rejection. Kept behind Config.FlatScan as the measured baseline and the
+// differential-test oracle for the two-level path.
+//stm:hotpath
+func (s *System) invalidateSlotFlat(i int, bf *bloom.Filter, ring *obs.Ring) uint64 {
 	sl := &s.slots[i]
 	if !sl.inUse.Load() {
 		return 0
@@ -403,24 +486,74 @@ func (s *System) invalidateSlot(i int, bf *bloom.Filter, ring *obs.Ring) uint64 
 }
 
 // countConflictingReaders counts in-flight transactions whose read signature
-// intersects bf — the CMReaderBiased policy's doom estimate.
+// intersects bf — the CMReaderBiased policy's doom estimate. Same two-level
+// structure as the invalidation scan, without the doom.
 //stm:hotpath
 func (s *System) countConflictingReaders(committer int, bf *bloom.Filter) int {
 	n := 0
-	for i := range s.slots {
-		if i == committer {
-			continue
+	if s.cfg.FlatScan {
+		for i := range s.slots {
+			if i == committer {
+				continue
+			}
+			sl := &s.slots[i]
+			if !sl.inUse.Load() {
+				continue
+			}
+			if _, alive := sl.aliveWord(); !alive {
+				continue
+			}
+			if sl.readBF.IntersectsFilter(bf) {
+				n++
+			}
 		}
-		sl := &s.slots[i]
-		if !sl.inUse.Load() {
-			continue
+		return n
+	}
+	sum := bf.Summary()
+	for w := range s.active.words {
+		b := s.active.words[w].Load()
+		if committer>>6 == w {
+			b &^= 1 << (uint(committer) & 63)
 		}
-		if _, alive := sl.aliveWord(); !alive {
-			continue
-		}
-		if sl.readBF.IntersectsFilter(bf) {
-			n++
+		for b != 0 {
+			sl := &s.slots[nextSlot(w, &b)]
+			if !sl.readBF.SummaryIntersects(sum) {
+				continue
+			}
+			if _, alive := sl.aliveWord(); !alive {
+				continue
+			}
+			if sl.readBF.IntersectsFilter(bf) {
+				n++
+			}
 		}
 	}
 	return n
+}
+
+// appendPendingCandidates appends to buf the indices (>= from, ascending) of
+// every slot that may hold a PENDING commit request, for the commit-server's
+// collection scan. A requester is ALIVE for the whole PENDING window and its
+// active bit is set before the request can be published (begin precedes
+// commit), so the bitmap is a conservative superset of the pending set; the
+// caller re-checks state on each candidate. With FlatScan every slot index
+// is a candidate, as at seed.
+//stm:hotpath
+func (s *System) appendPendingCandidates(buf []int, from int) []int {
+	if s.cfg.FlatScan {
+		for i := from; i < len(s.slots); i++ {
+			buf = append(buf, i)
+		}
+		return buf
+	}
+	for w := from >> 6; w < len(s.active.words); w++ {
+		b := s.active.words[w].Load()
+		if w == from>>6 {
+			b &= ^uint64(0) << (uint(from) & 63)
+		}
+		for b != 0 {
+			buf = append(buf, nextSlot(w, &b))
+		}
+	}
+	return buf
 }

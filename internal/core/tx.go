@@ -137,10 +137,14 @@ func (tx *Tx) begin() {
 	tx.ring.InstantAt(obs.KBegin, tx.traceT0, uint64(tx.attempts))
 	if tx.sys.eng.usesSlots() {
 		// Order matters: clear the read signature while the slot is not
-		// alive, then publish the new (epoch, ALIVE) word. A server holding
-		// the previous word can no longer doom this incarnation (CAS epoch
-		// guard), and one scanning after the store sees an empty filter.
+		// alive, then set the active bit, then publish the new (epoch, ALIVE)
+		// word. A server holding the previous word can no longer doom this
+		// incarnation (CAS epoch guard), and one scanning after the store
+		// sees an empty filter. The active bit precedes the ALIVE store so a
+		// scanner that misses the bit has proof the slot was not ALIVE at
+		// that point (DESIGN.md §9).
 		tx.slot.readBF.Clear()
+		tx.sys.active.set(tx.th.idx)
 		epoch := (tx.slot.status.Load() >> epochShift) + 1
 		tx.slot.status.Store(statusWord(epoch, txAlive))
 	}
@@ -193,7 +197,11 @@ func (tx *Tx) Load(v *Var) any {
 	if !ok {
 		panic(conflictSignal{})
 	}
-	tx.rs.add(v, b)
+	if tx.sys.logReads {
+		// NOrec/TL2 revalidate from this log; the invalidation engines keep
+		// it only when stats are enabled (read-set accounting).
+		tx.rs.add(v, b)
+	}
 	return b.v
 }
 
@@ -201,7 +209,7 @@ func (tx *Tx) Load(v *Var) any {
 //stm:hotpath
 func (tx *Tx) Store(v *Var, val any) {
 	atomic.AddUint64(&tx.stats.Writes, 1)
-	tx.ws.put(v, &box{v: val})
+	tx.ws.put(v, val)
 }
 
 // finishCommit drives the engine commit and updates stats/slot state.
@@ -262,13 +270,17 @@ func (tx *Tx) onUserAbort() {
 
 // deactivateSlot retires the slot's status word so servers stop considering
 // this thread in-flight. The epoch field is preserved: the next begin bumps
-// it, invalidating any doom a server is still trying to apply.
+// it, invalidating any doom a server is still trying to apply. The active
+// bit is cleared only after the INACTIVE store (mirror image of begin): a
+// scanner that still sees the bit merely re-checks the status word, while
+// one that misses it can rely on the transaction having retired.
 func (tx *Tx) deactivateSlot() {
 	if !tx.sys.eng.usesSlots() {
 		return
 	}
 	w := tx.slot.status.Load()
 	tx.slot.status.Store((w &^ statusBits) | txInactive)
+	tx.sys.active.clear(tx.th.idx)
 }
 
 // invalidated reports whether this transaction incarnation has been doomed.

@@ -48,6 +48,12 @@ func (p *Uint64) Add(delta uint64) uint64 { return p.v.Add(delta) }
 // CompareAndSwap executes the compare-and-swap for the cell.
 func (p *Uint64) CompareAndSwap(old, new uint64) bool { return p.v.CompareAndSwap(old, new) }
 
+// Or atomically ORs mask into the value and returns the old value.
+func (p *Uint64) Or(mask uint64) uint64 { return p.v.Or(mask) }
+
+// And atomically ANDs the value with mask and returns the old value.
+func (p *Uint64) And(mask uint64) uint64 { return p.v.And(mask) }
+
 // Uint32 is an atomic uint32 alone on its cache line.
 type Uint32 struct {
 	_ [CacheLineSize - 4]byte
