@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet lint race bench-groupcommit bench-scan
+.PHONY: verify build test vet lint race bench-groupcommit bench-scan bench-conflict
 
 ## verify: the full pre-merge gate — vet, the invariant linter, build, tests,
 ## and the race detector over the packages with real concurrency.
@@ -32,3 +32,9 @@ bench-groupcommit:
 ## this target trades stability for speed so CI can smoke-run it.
 bench-scan:
 	$(GO) run ./cmd/rinval-bench -exp invalscan -mode live -iters 300
+
+## bench-conflict: short-mode conflict-attribution sweep (FP rate, hot-var
+## skew, wasted work) into results/BENCH_conflict_attr.json. The checked-in
+## report uses -iters 400; this target is sized for a CI smoke run.
+bench-conflict:
+	$(GO) run ./cmd/rinval-bench -exp conflict -mode live -iters 100

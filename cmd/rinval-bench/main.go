@@ -17,6 +17,7 @@
 //	rinval-bench -exp latency -mode live  # per-transaction latency percentiles
 //	rinval-bench -exp groupcommit -mode live -out results/BENCH_group_commit.json
 //	rinval-bench -exp invalscan -mode live -out results/BENCH_inval_scan.json
+//	rinval-bench -exp conflict -mode live -out results/BENCH_conflict_attr.json
 //	rinval-bench -exp fig7a -mode live -trace out.json   # Perfetto lifecycle trace
 //	rinval-bench -exp fig7a -mode live -metrics :8080    # expvar + pprof endpoint
 //
@@ -38,18 +39,53 @@ import (
 	"github.com/ssrg-vt/rinval/stm"
 )
 
-// validExps lists every experiment name, in the order the package doc
-// documents them. Keep all three in sync: this list, the doc comment, and
-// the -exp flag help string.
-var validExps = []string{
-	"fig7a", "fig7b", "fig2", "fig3", "fig8",
-	"ablK", "ablSteps", "ablJitter", "ablBloom", "ablReadSet", "ablTL2",
-	"latency", "groupcommit", "invalscan",
+// validExps maps every experiment name to its one-line description, in the
+// order the package doc documents them. Keep the doc comment in sync; the
+// -exp help text and the unknown-experiment message derive from this table.
+var validExps = []expDesc{
+	{"fig7a", "Figure 7(a): RBT throughput, 50% reads"},
+	{"fig7b", "Figure 7(b): RBT throughput, 80% reads"},
+	{"fig2", "Figure 2: RBT critical-path breakdown"},
+	{"fig3", "Figure 3: STAMP breakdown (sim only)"},
+	{"fig8", "Figure 8: STAMP execution times"},
+	{"ablK", "ablation: invalidation-server count (sim only)"},
+	{"ablSteps", "ablation: V3 window under server lag (sim only)"},
+	{"ablJitter", "ablation: OS jitter sensitivity (sim only)"},
+	{"ablBloom", "ablation: bloom filter size (live only)"},
+	{"ablReadSet", "ablation: validation vs read-set size"},
+	{"ablTL2", "ablation: coarse family vs TL2 (sim only)"},
+	{"latency", "per-transaction latency percentiles (live only)"},
+	{"groupcommit", "group-commit batching sweep (live only)"},
+	{"invalscan", "invalidation-scan sweep: flat vs two-level (live only)"},
+	{"conflict", "conflict attribution: FP rate, hot-var skew, wasted work (live only)"},
+}
+
+type expDesc struct{ name, what string }
+
+// expHelp renders one line per experiment for --help.
+func expHelp() string {
+	var b strings.Builder
+	b.WriteString("experiment to run; one of:\n")
+	for _, e := range validExps {
+		fmt.Fprintf(&b, "  %-12s %s\n", e.name, e.what)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// expNamesSorted returns the experiment names in lexical order, for the
+// unknown-experiment message.
+func expNamesSorted() []string {
+	names := make([]string, len(validExps))
+	for i, e := range validExps {
+		names[i] = e.name
+	}
+	slices.Sort(names)
+	return names
 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig7a", "experiment: fig2|fig3|fig7a|fig7b|fig8|ablK|ablJitter|ablSteps|ablBloom|ablReadSet|ablTL2|latency|groupcommit|invalscan")
+		exp      = flag.String("exp", "fig7a", expHelp())
 		mode     = flag.String("mode", "sim", "execution mode: sim (64-core model) or live (this machine)")
 		threads  = flag.String("threads", "2,4,8,16,24,32,48,64", "comma-separated thread counts")
 		app      = flag.String("app", "", "restrict fig8 to one STAMP app")
@@ -57,15 +93,15 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		svgDir   = flag.String("svg", "", "also render each table as an SVG chart into this directory")
-		out      = flag.String("out", "", "groupcommit/invalscan: JSON output path (default results/BENCH_<exp>.json)")
-		iters    = flag.Int("iters", 400, "groupcommit/invalscan: committed transactions per client")
+		out      = flag.String("out", "", "groupcommit/invalscan/conflict: JSON output path (default results/BENCH_<exp>.json)")
+		iters    = flag.Int("iters", 400, "groupcommit/invalscan/conflict: committed transactions per client")
 		trace    = flag.String("trace", "", "live mode: write a Chrome trace-event JSON of the last benchmark point to this path (open in Perfetto)")
 		metrics  = flag.String("metrics", "", "serve expvar and pprof on this address (e.g. :8080) for the duration of the run")
 	)
 	flag.Parse()
 
-	if !slices.Contains(validExps, *exp) {
-		fatal(fmt.Errorf("unknown experiment %q (valid: %s)", *exp, strings.Join(validExps, ", ")))
+	if !slices.ContainsFunc(validExps, func(e expDesc) bool { return e.name == *exp }) {
+		fatal(fmt.Errorf("unknown experiment %q (valid: %s)", *exp, strings.Join(expNamesSorted(), ", ")))
 	}
 	if *trace != "" {
 		if *mode != "live" {
@@ -90,6 +126,12 @@ func main() {
 	}
 	if *exp == "invalscan" {
 		if err := runInvalScan(*mode, *out, *iters); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *exp == "conflict" {
+		if err := runConflict(*mode, *out, *iters, *seed); err != nil {
 			fatal(err)
 		}
 		return
@@ -236,7 +278,7 @@ func run(exp, mode string, ths []int, app string, dur time.Duration, seed uint64
 		}
 		return []*bench.Table{bench.SimAblationCoarseVsFine(ths, seed)}, nil
 	}
-	return nil, fmt.Errorf("unknown experiment %q (valid: %s)", exp, strings.Join(validExps, ", "))
+	return nil, fmt.Errorf("unknown experiment %q (valid: %s)", exp, strings.Join(expNamesSorted(), ", "))
 }
 
 // runGroupCommit sweeps the group-commit batching knob on the live RInval
@@ -286,6 +328,37 @@ func runInvalScan(mode, out string, iters int) error {
 		MaxThreads: []int{8, 16, 32, 64},
 		Clients:    4,
 		Iters:      iters,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Format(os.Stdout)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runConflict sweeps the contention knob across the invalidation engines with
+// conflict attribution on and writes the JSON report consumed by the
+// acceptance checks: bloom false-positive rate, hot-var skew (top-4 sample
+// share), and wasted-work fraction per (engine, pool-size) point.
+func runConflict(mode, out string, iters int, seed uint64) error {
+	if mode != "live" {
+		return fmt.Errorf("conflict is live-only (it measures the real attribution layer)")
+	}
+	if out == "" {
+		out = "results/BENCH_conflict_attr.json"
+	}
+	rep, err := bench.RunConflict(bench.ConflictOpts{
+		Iters: iters,
+		Seed:  seed,
 	})
 	if err != nil {
 		return err

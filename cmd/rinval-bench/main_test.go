@@ -1,6 +1,8 @@
 package main
 
 import (
+	"slices"
+	"strings"
 	"testing"
 	"time"
 )
@@ -65,6 +67,41 @@ func TestRunDispatchErrors(t *testing.T) {
 		if _, err := run(c.exp, c.mode, ths, app, time.Millisecond, 1); err == nil {
 			t.Errorf("run(%s,%s) accepted", c.exp, c.mode)
 		}
+	}
+}
+
+func TestConflictDispatch(t *testing.T) {
+	if err := runConflict("sim", "", 1, 1); err == nil {
+		t.Error("conflict accepted sim mode")
+	}
+	if testing.Short() {
+		t.Skip("live run")
+	}
+	out := t.TempDir() + "/conflict.json"
+	if err := runConflict("live", out, 30, 1); err != nil {
+		t.Fatalf("conflict live: %v", err)
+	}
+}
+
+// TestExpHelpAndNames pins the --help and error-message contracts: one line
+// per experiment in the help text, and a sorted name list (with conflict
+// present) in the unknown-experiment message.
+func TestExpHelpAndNames(t *testing.T) {
+	help := expHelp()
+	for _, e := range validExps {
+		if !strings.Contains(help, e.name) || !strings.Contains(help, e.what) {
+			t.Errorf("help text missing %q line", e.name)
+		}
+	}
+	if lines := strings.Count(help, "\n"); lines != len(validExps) {
+		t.Errorf("help text has %d experiment lines, want %d", lines, len(validExps))
+	}
+	names := expNamesSorted()
+	if !slices.IsSorted(names) {
+		t.Errorf("experiment names not sorted: %v", names)
+	}
+	if !slices.Contains(names, "conflict") {
+		t.Errorf("conflict missing from %v", names)
 	}
 }
 

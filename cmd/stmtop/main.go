@@ -1,0 +1,224 @@
+// Command stmtop is a live terminal dashboard for a running STM system. It
+// polls the expvar endpoint a benchmark exposes via -metrics (rinval-bench
+// -metrics :8080, or any process calling obs.ServeMetrics) and renders the
+// conflict-attribution view: commit/abort rates, the hottest who-aborted-whom
+// matrix cells, the top-K contended Vars, bloom false-positive rate, and
+// wasted-work totals per abort reason.
+//
+// Usage:
+//
+//	stmtop -addr localhost:8080              # refresh every second
+//	stmtop -addr localhost:8080 -interval 250ms
+//	stmtop -addr localhost:8080 -once        # one snapshot, no screen control
+//
+// The data source is /debug/vars: the "stm" var carries the base counters and
+// "stm_conflict" the ConflictReport snapshot (both are published by the
+// benchmark harness; attribution detail needs Config.Attribution on).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/ssrg-vt/rinval/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8080", "host:port of the -metrics endpoint to poll")
+		interval = flag.Duration("interval", time.Second, "poll period")
+		once     = flag.Bool("once", false, "render a single snapshot and exit (no screen clearing)")
+		topK     = flag.Int("k", 8, "rows in the hot-var and matrix tables")
+	)
+	flag.Parse()
+
+	url := "http://" + *addr + "/debug/vars"
+	var prev *snapshot
+	for {
+		cur, err := fetch(url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmtop: %v\n", err)
+			os.Exit(1)
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		render(os.Stdout, prev, cur, *topK)
+		if *once {
+			return
+		}
+		prev = cur
+		time.Sleep(*interval)
+	}
+}
+
+// snapshot is one poll of /debug/vars, reduced to the two STM vars.
+type snapshot struct {
+	at       time.Time
+	stm      stmVars
+	conflict obs.ConflictReport
+	hasSTM   bool
+}
+
+// stmVars mirrors the "stm" expvar the benchmark harness publishes.
+type stmVars struct {
+	Algo         string            `json:"algo"`
+	Commits      uint64            `json:"commits"`
+	Aborts       uint64            `json:"aborts"`
+	AbortReasons map[string]uint64 `json:"abort_reasons"`
+}
+
+// fetch polls the expvar endpoint and decodes the STM view.
+func fetch(url string) (*snapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return decode(resp.Body)
+}
+
+// decode parses an expvar JSON document. The "stm" and "stm_conflict" vars
+// are null until a benchmark point is running; that decodes to zero values,
+// which render as an idle dashboard rather than an error.
+func decode(r io.Reader) (*snapshot, error) {
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(r).Decode(&vars); err != nil {
+		return nil, fmt.Errorf("parsing expvar JSON: %w", err)
+	}
+	s := &snapshot{at: time.Now()}
+	if raw, ok := vars["stm"]; ok && string(raw) != "null" {
+		if err := json.Unmarshal(raw, &s.stm); err != nil {
+			return nil, fmt.Errorf("parsing stm var: %w", err)
+		}
+		s.hasSTM = true
+	}
+	if raw, ok := vars["stm_conflict"]; ok && string(raw) != "null" {
+		if err := json.Unmarshal(raw, &s.conflict); err != nil {
+			return nil, fmt.Errorf("parsing stm_conflict var: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// matrixCell is one nonzero who-aborted-whom entry, for ranking.
+type matrixCell struct {
+	committer, victim int // committer == slots means unknown
+	n                 uint64
+}
+
+// render writes the dashboard. prev, when non-nil, supplies the delta window
+// for the rate line; cur alone renders totals only.
+func render(w io.Writer, prev, cur *snapshot, k int) {
+	fmt.Fprintf(w, "stmtop — %s\n", time.Now().Format("15:04:05"))
+	if !cur.hasSTM {
+		fmt.Fprintln(w, "no STM system is currently running (stm expvar is null); waiting for a benchmark point")
+		return
+	}
+	st := cur.stm
+	fmt.Fprintf(w, "engine %-12s commits %-12d aborts %-12d", st.Algo, st.Commits, st.Aborts)
+	if attempts := st.Commits + st.Aborts; attempts > 0 {
+		fmt.Fprintf(w, "abort-rate %5.1f%%", 100*float64(st.Aborts)/float64(attempts))
+	}
+	fmt.Fprintln(w)
+	if prev != nil && prev.hasSTM {
+		dt := cur.at.Sub(prev.at).Seconds()
+		if dt > 0 {
+			dc := float64(st.Commits-prev.stm.Commits) / dt
+			da := float64(st.Aborts-prev.stm.Aborts) / dt
+			fmt.Fprintf(w, "rates  %.0f commits/s  %.0f aborts/s (over %.2fs)\n", dc, da, dt)
+		}
+	}
+	if len(st.AbortReasons) > 0 {
+		reasons := make([]string, 0, len(st.AbortReasons))
+		for r := range st.AbortReasons {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		fmt.Fprint(w, "aborts ")
+		for _, r := range reasons {
+			fmt.Fprintf(w, " %s=%d", r, st.AbortReasons[r])
+		}
+		fmt.Fprintln(w)
+	}
+
+	cr := cur.conflict
+	if !cr.Enabled {
+		fmt.Fprintln(w, "\nattribution off (run with Config.Attribution / the conflict experiment for the full view)")
+		return
+	}
+	fmt.Fprintf(w, "\nconflict attribution (%d slots, %d-bit filters)\n", cr.Slots, cr.FilterBits)
+	fmt.Fprintf(w, "invalidation aborts %-10d bloom FP rate %.4f (%d/%d sampled)\n",
+		cr.InvalidationAborts, cr.FP.Rate, cr.FP.FalsePositive, cr.FP.Sampled)
+
+	if cells := topCells(cr, k); len(cells) > 0 {
+		fmt.Fprintln(w, "\nwho aborted whom (top cells)")
+		for _, c := range cells {
+			committer := fmt.Sprintf("%d", c.committer)
+			if c.committer == cr.Slots {
+				committer = "?"
+			}
+			fmt.Fprintf(w, "  slot %3s -> slot %3d  %8d\n", committer, c.victim, c.n)
+		}
+	}
+	if len(cr.HotVars) > 0 {
+		fmt.Fprintln(w, "\nhot vars (reservoir sample share)")
+		n := min(k, len(cr.HotVars))
+		for _, hv := range cr.HotVars[:n] {
+			name := hv.Name
+			if name == "" {
+				name = fmt.Sprintf("var-%d", hv.ID)
+			}
+			fmt.Fprintf(w, "  %-24s %6.2f%%  (%d samples)\n", name, 100*hv.Share, hv.Samples)
+		}
+	}
+	if len(cr.WastedNs) > 0 {
+		fmt.Fprintln(w, "\nwasted work (aborted attempts)")
+		reasons := make([]string, 0, len(cr.WastedNs))
+		for r := range cr.WastedNs {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			if cr.WastedNs[r] == 0 && cr.WastedOps[r] == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-12s %12s  %8d ops\n", r,
+				time.Duration(cr.WastedNs[r]).Round(time.Microsecond), cr.WastedOps[r])
+		}
+	}
+}
+
+// topCells ranks the nonzero matrix cells by count, descending.
+func topCells(cr obs.ConflictReport, k int) []matrixCell {
+	var cells []matrixCell
+	for c, row := range cr.Matrix {
+		for v, n := range row {
+			if n > 0 {
+				cells = append(cells, matrixCell{committer: c, victim: v, n: n})
+			}
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].n != cells[j].n {
+			return cells[i].n > cells[j].n
+		}
+		if cells[i].committer != cells[j].committer {
+			return cells[i].committer < cells[j].committer
+		}
+		return cells[i].victim < cells[j].victim
+	})
+	if len(cells) > k {
+		cells = cells[:k]
+	}
+	return cells
+}

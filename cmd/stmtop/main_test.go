@@ -1,0 +1,150 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ssrg-vt/rinval/internal/obs"
+)
+
+// cannedVars is a minimal /debug/vars document with both STM vars populated,
+// shaped exactly as the benchmark harness publishes them.
+const cannedVars = `{
+  "cmdline": ["rinval-bench"],
+  "stm": {
+    "algo": "rinval-v2",
+    "commits": 3200,
+    "aborts": 800,
+    "abort_reasons": {"invalidated": 700, "validation": 0, "self": 40, "locked": 60, "explicit": 0}
+  },
+  "stm_conflict": {
+    "enabled": true,
+    "slots": 2,
+    "matrix": [[0, 5], [600, 0], [95, 0]],
+    "invalidation_aborts": 700,
+    "commits": 3200,
+    "aborts": 800,
+    "fp": {"sampled": 100, "false_positive": 7, "rate": 0.07},
+    "filter_bits": 1024,
+    "hot_vars": [{"id": 9, "name": "hot-0", "samples": 50, "share": 0.5}],
+    "hot_var_samples": 100,
+    "wasted_ns": {"invalidated": 120000, "validation": 0, "self": 100, "locked": 200, "explicit": 0},
+    "wasted_ops": {"invalidated": 900, "validation": 0, "self": 3, "locked": 6, "explicit": 0}
+  }
+}`
+
+func TestDecodeAndRender(t *testing.T) {
+	cur, err := decode(strings.NewReader(cannedVars))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.hasSTM || cur.stm.Algo != "rinval-v2" || cur.conflict.InvalidationAborts != 700 {
+		t.Fatalf("decode: %+v", cur)
+	}
+	prev := &snapshot{at: cur.at.Add(-time.Second), hasSTM: true}
+	prev.stm.Commits, prev.stm.Aborts = 3000, 700
+
+	var b strings.Builder
+	render(&b, prev, cur, 8)
+	out := b.String()
+	for _, want := range []string{
+		"rinval-v2",
+		"abort-rate  20.0%",          // 800 / 4000
+		"commits/s",                  // delta line rendered
+		"invalidation aborts 700",    // attribution section
+		"bloom FP rate 0.0700",       // FPStats
+		"slot   1 -> slot   0       600", // top matrix cell
+		"slot   ? -> slot   0        95", // unknown committer row
+		"hot-0",                      // named hot var
+		"50.00%",                     // its share
+		"invalidated",                // wasted-work row
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderIdle(t *testing.T) {
+	cur, err := decode(strings.NewReader(`{"stm": null, "stm_conflict": null}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	render(&b, nil, cur, 8)
+	if !strings.Contains(b.String(), "no STM system is currently running") {
+		t.Errorf("idle render: %q", b.String())
+	}
+}
+
+func TestRenderAttributionOff(t *testing.T) {
+	cur, err := decode(strings.NewReader(
+		`{"stm": {"algo": "norec", "commits": 10, "aborts": 0}, "stm_conflict": {"enabled": false}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	render(&b, nil, cur, 8)
+	if !strings.Contains(b.String(), "attribution off") {
+		t.Errorf("off render: %q", b.String())
+	}
+}
+
+func TestFetchAgainstHTTPServer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/vars" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write([]byte(cannedVars))
+	}))
+	defer srv.Close()
+	s, err := fetch(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.stm.Commits != 3200 || s.conflict.FP.Sampled != 100 {
+		t.Fatalf("fetch: %+v", s)
+	}
+	if _, err := fetch(srv.URL + "/nope"); err == nil {
+		t.Error("fetch accepted a 404")
+	}
+}
+
+// TestLiveEndToEnd drives the real pipeline: obs.ServeMetrics serving the
+// vars a live attribution-enabled report feeds, polled by fetch and rendered.
+func TestLiveEndToEnd(t *testing.T) {
+	rep := obs.ConflictReport{
+		Enabled: true, Slots: 1,
+		Matrix:             [][]uint64{{3}, {0}},
+		InvalidationAborts: 3,
+		Commits:            42,
+	}
+	obs.Publish("stm", func() any {
+		return map[string]any{"algo": "invalstm", "commits": 42, "aborts": 3}
+	})
+	obs.PublishOpenMetrics(func() obs.ConflictReport { return rep })
+	obs.Publish("stm_conflict", func() any { return rep })
+	addr, shutdown, err := obs.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	s, err := fetch("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	render(&b, nil, s, 4)
+	out := b.String()
+	for _, want := range []string{"invalstm", "invalidation aborts 3", "slot   0 -> slot   0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("live render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// The conflict-attribution record shape: nil-gated receiver, atomic counter
+// adds into a preallocated matrix, single-writer reservoir stores. Nothing
+// here allocates, formats, or locks, so the hot-path check stays silent.
+package hot
+
+import "sync/atomic"
+
+type attribution struct {
+	cells []uint64
+	seen  uint64
+	ids   [8]uint64
+}
+
+//stm:hotpath
+func (a *attribution) recordAbort(committer, victim int, ns uint64) {
+	if a == nil {
+		return
+	}
+	atomic.AddUint64(&a.cells[committer*8+victim], 1)
+	atomic.AddUint64(&a.cells[victim], ns)
+}
+
+//stm:hotpath
+func (a *attribution) offerVar(id uint64) {
+	if a == nil {
+		return
+	}
+	n := atomic.LoadUint64(&a.seen)
+	if n < uint64(len(a.ids)) {
+		atomic.StoreUint64(&a.ids[n], id)
+	}
+	atomic.AddUint64(&a.seen, 1)
+}

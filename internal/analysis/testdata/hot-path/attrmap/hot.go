@@ -1,0 +1,23 @@
+// The tempting-but-wrong attribution record: building a labeled map per
+// abort and formatting the var name on the record path. Both belong in the
+// report/snapshot layer, not on the abort path the victim executes.
+package hot
+
+import "fmt"
+
+type attribution struct {
+	names map[string]uint64
+}
+
+//stm:hotpath
+func (a *attribution) recordAbort(committer, victim int) {
+	cell := map[string]int{"committer": committer} // want hot-path
+	cell["victim"] = victim
+	a.names[fmt.Sprintf("slot-%d", victim)]++ // want hot-path
+}
+
+//stm:hotpath
+func (a *attribution) offerVar(id uint64) {
+	labels := make(map[uint64]string, 1) // want hot-path
+	labels[id] = "hot"
+}

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// ConflictOpts parameterizes the conflict-attribution sweep: a fixed client
+// count runs a skewed read-write mix over shared Var pools of decreasing size
+// (the contention knob) on each invalidation-based engine, with
+// Config.Attribution on. The interesting outputs are the attribution layer's
+// own measurements — bloom false-positive rate, hot-var skew, wasted-work
+// fraction — under conditions where ground truth is intuitive: smaller pools
+// mean more true conflicts, and the hot subset must dominate the top-K table.
+type ConflictOpts struct {
+	Algos    []stm.Algo // engines to sweep (default: the four invalidation engines)
+	Clients  int        // concurrent client threads (default 8)
+	Iters    int        // committed transactions per client
+	VarPools []int      // shared-pool sizes, the contention axis (default 8, 64, 512)
+	Seed     uint64     // workload rng seed (default 1)
+}
+
+// ConflictPoint is one (algo, pool-size) measurement.
+type ConflictPoint struct {
+	Algo               string       `json:"algo"`
+	Vars               int          `json:"vars"`
+	Clients            int          `json:"clients"`
+	DurationNs         int64        `json:"duration_ns"`
+	Commits            uint64       `json:"commits"`
+	Aborts             uint64       `json:"aborts"`
+	AbortRate          float64      `json:"abort_rate"` // aborts / attempts
+	InvalidationAborts uint64       `json:"invalidation_aborts"`
+	UnknownShare       float64      `json:"unknown_share"` // matrix unknown-row fraction
+	FPSampled          uint64       `json:"fp_sampled"`
+	FPRate             float64      `json:"fp_rate"`
+	FilterBits         int          `json:"filter_bits"`
+	Top4Share          float64      `json:"top4_share"` // hot-var skew: top-4 sample share
+	HotVars            []stm.HotVar `json:"hot_vars,omitempty"`
+	WastedNs           uint64       `json:"wasted_ns"`
+	WastedFraction     float64      `json:"wasted_fraction"` // of total client time
+}
+
+// ConflictReport is the full sweep, serialized to BENCH_conflict_attr.json.
+type ConflictReport struct {
+	Workload string          `json:"workload"`
+	Clients  int             `json:"clients"`
+	Iters    int             `json:"iters_per_client"`
+	Points   []ConflictPoint `json:"points"`
+}
+
+// RunConflict executes the attribution sweep on the live engines.
+func RunConflict(o ConflictOpts) (*ConflictReport, error) {
+	if o.Iters < 1 {
+		return nil, fmt.Errorf("bench: conflict iters must be >= 1")
+	}
+	if len(o.Algos) == 0 {
+		o.Algos = []stm.Algo{stm.InvalSTM, stm.RInvalV1, stm.RInvalV2, stm.RInvalV3}
+	}
+	if o.Clients == 0 {
+		o.Clients = 8
+	}
+	if len(o.VarPools) == 0 {
+		o.VarPools = []int{8, 64, 512}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	rep := &ConflictReport{
+		Workload: "skewed read-write mix: 3 reads + 1 write per tx, half of accesses to a pool/8 hot subset",
+		Clients:  o.Clients,
+		Iters:    o.Iters,
+	}
+	for _, pool := range o.VarPools {
+		for _, algo := range o.Algos {
+			p, err := runConflictPoint(algo, pool, o)
+			if err != nil {
+				return nil, err
+			}
+			rep.Points = append(rep.Points, p)
+		}
+	}
+	return rep, nil
+}
+
+// conflictHotVars labels the hot subset so the report's top-K table carries
+// names — the NewVarNamed path the dashboard displays.
+func conflictHotVars(pool int) ([]*stm.Var[int], int) {
+	hot := max(1, pool/8)
+	vars := make([]*stm.Var[int], pool)
+	for i := range vars {
+		if i < hot {
+			vars[i] = stm.NewVarNamed(0, fmt.Sprintf("hot-%d", i))
+		} else {
+			vars[i] = stm.NewVar(0)
+		}
+	}
+	return vars, hot
+}
+
+func runConflictPoint(algo stm.Algo, pool int, o ConflictOpts) (ConflictPoint, error) {
+	sys, err := stm.New(stm.Config{
+		Algo:            algo,
+		MaxThreads:      o.Clients,
+		Attribution:     true,
+		AttrSampleEvery: 4,
+	})
+	if err != nil {
+		return ConflictPoint{}, err
+	}
+	liveSys.Store(sys) // -metrics serves this point's /metrics and expvar view
+
+	vars, hot := conflictHotVars(pool)
+	ths := make([]*stm.Thread, o.Clients)
+	for i := range ths {
+		if ths[i], err = sys.Register(); err != nil {
+			sys.Close()
+			return ConflictPoint{}, err
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, o.Clients)
+	start := time.Now()
+	for w := 0; w < o.Clients; w++ {
+		w := w
+		wg.Add(1)
+		go clientLabeled(w, func() {
+			defer wg.Done()
+			rng := o.Seed + uint64(w)*0x9e3779b97f4a7c15
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			// Half of all accesses land in the hot subset: the skew the
+			// top-K table must recover.
+			pick := func() *stm.Var[int] {
+				if next(2) == 0 {
+					return vars[next(hot)]
+				}
+				return vars[next(pool)]
+			}
+			for i := 0; i < o.Iters; i++ {
+				errs[w] = ths[w].Atomically(func(tx *stm.Tx) error {
+					sum := 0
+					for r := 0; r < 3; r++ {
+						sum += pick().Load(tx)
+					}
+					pick().Store(tx, sum+1)
+					return nil
+				})
+				if errs[w] != nil {
+					return
+				}
+			}
+		})
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Snapshot attribution before Close: the report is defined while the
+	// system is alive (threads are quiescent, so the counters are stable).
+	cr := sys.ConflictReport()
+	for _, th := range ths {
+		th.Close()
+	}
+	if err := finishTrace(sys); err != nil {
+		return ConflictPoint{}, err
+	}
+	if err := sys.Close(); err != nil {
+		return ConflictPoint{}, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return ConflictPoint{}, e
+		}
+	}
+
+	var unknown uint64
+	if len(cr.Matrix) == cr.Slots+1 {
+		for _, n := range cr.Matrix[cr.Slots] {
+			unknown += n
+		}
+	}
+	p := ConflictPoint{
+		Algo:               algo.String(),
+		Vars:               pool,
+		Clients:            o.Clients,
+		DurationNs:         elapsed.Nanoseconds(),
+		Commits:            cr.Commits,
+		Aborts:             cr.Aborts,
+		InvalidationAborts: cr.InvalidationAborts,
+		FPSampled:          cr.FP.Sampled,
+		FPRate:             cr.FP.Rate,
+		FilterBits:         cr.FilterBits,
+		Top4Share:          cr.TopKShare(4),
+		WastedNs:           sumWasted(cr.WastedNs),
+	}
+	if n := len(cr.HotVars); n > 4 {
+		p.HotVars = cr.HotVars[:4]
+	} else {
+		p.HotVars = cr.HotVars
+	}
+	if attempts := cr.Commits + cr.Aborts; attempts > 0 {
+		p.AbortRate = float64(cr.Aborts) / float64(attempts)
+	}
+	if cr.InvalidationAborts > 0 {
+		p.UnknownShare = float64(unknown) / float64(cr.InvalidationAborts)
+	}
+	if wall := uint64(o.Clients) * uint64(elapsed.Nanoseconds()); wall > 0 {
+		p.WastedFraction = float64(p.WastedNs) / float64(wall)
+	}
+	return p, nil
+}
+
+func sumWasted(m map[string]uint64) uint64 {
+	var n uint64
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// WriteJSON serializes the report with stable indentation.
+func (r *ConflictReport) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Format writes a human-readable table of the sweep.
+func (r *ConflictReport) Format(w io.Writer) {
+	fmt.Fprintf(w, "== Conflict attribution: %s (%d clients, %d tx each) ==\n",
+		r.Workload, r.Clients, r.Iters)
+	fmt.Fprintf(w, "%-10s %6s %10s %10s %8s %10s %8s %10s %8s\n",
+		"algo", "vars", "commits", "invaborts", "unk%", "fp rate", "top4", "wasted%", "abort%")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%-10s %6d %10d %10d %8.1f %10.4f %8.2f %10.2f %8.2f\n",
+			p.Algo, p.Vars, p.Commits, p.InvalidationAborts, p.UnknownShare*100,
+			p.FPRate, p.Top4Share, p.WastedFraction*100, p.AbortRate*100)
+	}
+	fmt.Fprintln(w)
+}

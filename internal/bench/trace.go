@@ -47,6 +47,22 @@ func init() {
 			"validations":   st.Validations,
 		}
 	})
+	// The conflict-attribution snapshot, twice: as JSON under /debug/vars
+	// (what cmd/stmtop polls) and as the OpenMetrics source behind /metrics.
+	obs.Publish("stm_conflict", func() any {
+		sys := liveSys.Load()
+		if sys == nil {
+			return nil
+		}
+		return sys.ConflictReport()
+	})
+	obs.PublishOpenMetrics(func() obs.ConflictReport {
+		sys := liveSys.Load()
+		if sys == nil {
+			return obs.ConflictReport{}
+		}
+		return sys.ConflictReport()
+	})
 }
 
 // finishTrace closes sys (idempotent; benchmarks also defer Close) and, when

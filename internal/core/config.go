@@ -149,6 +149,22 @@ type Config struct {
 	// and the commit-server's phase histograms (Stats.Server). Timing costs
 	// ~two clock reads per operation, so it is off by default.
 	Stats bool
+	// Attribution enables conflict attribution: the who-aborted-whom matrix,
+	// wasted-work accounting per abort reason, bloom false-positive sampling,
+	// and hot-var reservoir sampling (see System.ConflictReport and DESIGN.md
+	// §10). Committers publish a killer descriptor before each doom CAS and
+	// victims record on their abort path; read logging is forced on for the
+	// invalidation engines so the sampled exact-set check has data. Off by
+	// default; when off, every record site is a nil-receiver no-op.
+	Attribution bool
+	// AttrSampleEvery is the deterministic sampling period of the exact
+	// read-set ∩ write-set false-positive check: every Nth writer commit
+	// attaches its exact write ids to the killer descriptor. 1 checks every
+	// doom. Default 8.
+	AttrSampleEvery int
+	// AttrReservoirSize is the per-slot hot-var reservoir capacity (uniform
+	// sample of conflicting Var ids). Default 128.
+	AttrReservoirSize int
 	// Trace enables lifecycle event tracing: every client thread and server
 	// goroutine records begin/read-wait/commit/abort/epoch/invalidation
 	// events with nanosecond timestamps into a fixed-capacity per-actor ring
@@ -198,6 +214,18 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.TraceEvents == 0 {
 		c.TraceEvents = obs.DefaultRingEvents
+	}
+	if c.AttrSampleEvery == 0 {
+		c.AttrSampleEvery = 8
+	}
+	if c.AttrReservoirSize == 0 {
+		c.AttrReservoirSize = 128
+	}
+	if c.AttrSampleEvery < 1 || c.AttrSampleEvery > 1<<20 {
+		return c, fmt.Errorf("core: AttrSampleEvery %d out of range [1,1Mi]", c.AttrSampleEvery)
+	}
+	if c.AttrReservoirSize < 1 || c.AttrReservoirSize > 1<<20 {
+		return c, fmt.Errorf("core: AttrReservoirSize %d out of range [1,1Mi]", c.AttrReservoirSize)
 	}
 	if c.TraceEvents < 16 || c.TraceEvents > 1<<22 {
 		return c, fmt.Errorf("core: TraceEvents %d out of range [16,4Mi]", c.TraceEvents)

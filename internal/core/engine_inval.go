@@ -66,6 +66,10 @@ func invalRead(tx *Tx, v *Var, caughtUp func(t uint64) bool) (*box, bool) {
 		}
 		if tx.invalidated() {
 			tx.reason = AbortInvalidated
+			// This read is not in the log yet (Tx.Load appends only on
+			// success); remember its Var so the sampled exact-set check sees
+			// the full read set.
+			tx.pendingRead = v.id
 			return nil, false
 		}
 		return b, true
@@ -108,7 +112,11 @@ func (e *invalEngine) commit(tx *Tx) bool {
 		sys.ts.Store(t) // release without publishing anything
 		return false
 	}
-	atomic.AddUint64(&tx.stats.Invalidations, sys.invalidateOthers(tx.slot.selfMask, tx.ws.bf, tx.ring))
+	var kd *killDesc
+	if sys.attr != nil {
+		kd = tx.attrKillDesc()
+	}
+	atomic.AddUint64(&tx.stats.Invalidations, sys.invalidateOthers(tx.slot.selfMask, tx.ws.bf, tx.ring, kd))
 	tx.ws.writeBack()
 	sys.ts.Store(t + 2)
 	return true

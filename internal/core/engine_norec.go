@@ -64,6 +64,7 @@ func (e *norecEngine) revalidate(tx *Tx) (uint64, bool) {
 			re := &tx.rs.entries[i]
 			ops++
 			if re.v.loadBox() != re.snap {
+				tx.conflictVar = re.v.id // attribution: the mismatched read
 				ok = false
 				break
 			}

@@ -62,6 +62,10 @@ type remoteEngine struct {
 	commitSrv Stats   // commit-server activity (valid after servers stop)
 	invalSrv  []Stats // per-invalidation-server activity
 
+	// attrEpochs counts served epochs for attribution's 1-in-N exact-sample
+	// selection (commit-server-owned; see epochKillDesc).
+	attrEpochs uint64
+
 	// commitRing/invalRings are the servers' trace tracks (nil entries when
 	// tracing is off; every recording call on them is then a no-op).
 	commitRing *obs.Ring
@@ -356,6 +360,10 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 		}
 	}
 
+	var kd *killDesc
+	if sys.attr != nil {
+		kd = e.epochKillDesc()
+	}
 	if e.numInval == 0 {
 		// V1: one serial invalidation scan + write-back epoch for the batch.
 		e.batchMask.clearAll()
@@ -363,7 +371,7 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 			e.batchMask.set(j)
 		}
 		sys.ts.Add(1)
-		doomed := sys.invalidateOthers(e.batchMask, e.batchWS, e.commitRing)
+		doomed := sys.invalidateOthers(e.batchMask, e.batchWS, e.commitRing, kd)
 		atomic.AddUint64(&e.commitSrv.Invalidations, doomed)
 		if timing {
 			// V1 has no lag wait; the inline scan itself is the
@@ -392,7 +400,7 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 		for _, j := range e.batchIdx {
 			m.set(j)
 		}
-		sys.ring[slot].Store(&commitDesc{bf: e.sigBufs[slot], members: m})
+		sys.ring[slot].Store(&commitDesc{bf: e.sigBufs[slot], members: m, kd: kd})
 		sys.ts.Add(1)
 		for _, j := range e.batchIdx {
 			sys.slots[j].req.Load().ws.writeBack()
@@ -442,7 +450,7 @@ func (e *remoteEngine) invalServerMain(k int, stop func() bool) {
 			// overwrite it until this server advances (ring bound).
 			t0 := ring.Now()
 			d := sys.ring[(my/2)%uint64(len(sys.ring))].Load()
-			doomed := sys.invalidatePartition(k, d.members, d.bf, ring)
+			doomed := sys.invalidatePartition(k, d.members, d.bf, ring, d.kd)
 			atomic.AddUint64(&st.Invalidations, doomed)
 			sys.invalTS[k].Store(my + 2)
 			ring.Span(obs.KInvalScan, t0, doomed)

@@ -60,6 +60,7 @@ func (e *tl2Engine) read(tx *Tx, v *Var) (*box, bool) {
 			}
 			if i >= tl2LockSpins {
 				tx.reason = AbortLocked
+				tx.conflictVar = v.id
 				tx.ring.Span(obs.KReadWait, tw, v.id)
 				return nil, false
 			}
@@ -76,6 +77,7 @@ func (e *tl2Engine) read(tx *Tx, v *Var) (*box, bool) {
 		}
 		if tl2Version(w1) > tx.start {
 			tx.reason = AbortValidation
+			tx.conflictVar = v.id
 			return nil, false // too new for our snapshot
 		}
 		return b, true
@@ -127,6 +129,7 @@ func (e *tl2Engine) commit(tx *Tx) bool {
 		}
 		if !acquired {
 			tx.reason = AbortLocked
+			tx.conflictVar = we.v.id
 			release()
 			return false
 		}
@@ -142,12 +145,14 @@ func (e *tl2Engine) commit(tx *Tx) bool {
 		w := re.v.verlock.Load()
 		if tl2Version(w) > tx.start {
 			tx.reason = AbortValidation
+			tx.conflictVar = re.v.id
 			release()
 			return false
 		}
 		if tl2Locked(w) {
 			if _, mine := tx.ws.lookup(re.v); !mine {
 				tx.reason = AbortValidation
+				tx.conflictVar = re.v.id
 				release()
 				return false
 			}

@@ -176,7 +176,7 @@ func TestGroupCommitConflictSplitsEpochs(t *testing.T) {
 					// scan doomed it).
 					my := s.invalTS[0].Load()
 					d := s.ring[(my/2)%uint64(len(s.ring))].Load()
-					s.invalidatePartition(0, d.members, d.bf, nil)
+					s.invalidatePartition(0, d.members, d.bf, nil, nil)
 					s.invalTS[0].Store(my + 2)
 					if !eng.serveEpochFrom(0) {
 						t.Fatal("follower epoch made no progress after catch-up")

@@ -57,6 +57,12 @@ type slot struct {
 	req padded.Pointer[commitReq]
 	// inUse marks the slot as owned by a registered Thread.
 	inUse padded.Bool
+	// killer is the attribution mailbox: a doomer stores its killDesc here
+	// immediately before the doom CAS, and the victim reads it back on its
+	// abort path (nil outside Config.Attribution; cleared by the owner at
+	// begin, while the slot is not alive). Padded like the other hot cells —
+	// a committer's store must not collide with the victim's spin lines.
+	killer padded.Pointer[killDesc]
 	// readBF is the transaction's read signature, written by the owner and
 	// scanned concurrently by committers/invalidation-servers. The pointer
 	// and the fields below it are written once at System construction and

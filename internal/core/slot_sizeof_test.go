@@ -24,6 +24,7 @@ func TestSlotLayout(t *testing.T) {
 		"status": unsafe.Offsetof(s.status),
 		"req":    unsafe.Offsetof(s.req),
 		"inUse":  unsafe.Offsetof(s.inUse),
+		"killer": unsafe.Offsetof(s.killer),
 	}
 	for name, off := range offsets {
 		if off%padded.CacheLineSize != 0 {

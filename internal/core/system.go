@@ -77,6 +77,10 @@ func (m slotMask) copyFrom(o slotMask) { copy(m, o) }
 type commitDesc struct {
 	bf      *bloom.Filter
 	members slotMask
+	// kd is the epoch's killer descriptor for conflict attribution (nil when
+	// Config.Attribution is off): invalidation-servers publish it into each
+	// victim's slot before the doom CAS.
+	kd *killDesc
 }
 
 // System owns the shared state of one STM instance: the global timestamp,
@@ -126,6 +130,11 @@ type System struct {
 	// Actors 0..MaxThreads-1 are the client slots; engines append their
 	// server tracks at construction.
 	tracer *obs.Tracer
+
+	// attr is the conflict-attribution state when cfg.Attribution is set;
+	// nil otherwise, which makes every record call a no-op (same discipline
+	// as the trace rings).
+	attr *obs.Attribution
 
 	regMu     sync.Mutex
 	freeSlots []int
@@ -196,6 +205,9 @@ func newSystem(cfg Config) (*System, error) {
 			s.tracer.AddActor(fmt.Sprintf("client-%d", i))
 		}
 	}
+	if cfg.Attribution {
+		s.attr = obs.NewAttribution(cfg.MaxThreads, cfg.AttrReservoirSize, cfg.Seed)
+	}
 
 	switch cfg.Algo {
 	case Mutex:
@@ -217,7 +229,10 @@ func newSystem(cfg Config) (*System, error) {
 	case NOrec, TL2:
 		s.logReads = true // revalidation replays the log
 	default:
-		s.logReads = cfg.Stats
+		// Attribution forces the log on: the sampled exact-set check that
+		// classifies bloom false positives replays it on the victim's abort
+		// path.
+		s.logReads = cfg.Stats || cfg.Attribution
 	}
 	return s, nil
 }
@@ -310,6 +325,11 @@ func (s *System) Register() (*Thread, error) {
 	if s.tracer != nil {
 		th.tx.ring = s.tracer.Ring(idx)
 	}
+	if s.attr != nil {
+		// The thread's reusable unsampled killer descriptor: immutable, so
+		// victims may read it long after the commit that published it.
+		th.tx.attrKD = &killDesc{committer: idx}
+	}
 	th.backoff = spin.NewBackoff(time.Microsecond, 128*time.Microsecond, s.cfg.Seed+uint64(idx)*0x9e37)
 	s.live[th] = struct{}{}
 	return th, nil
@@ -389,14 +409,14 @@ func (s *System) waitEven() uint64 {
 // still made exactly where it was at seed. Config.FlatScan restores the
 // seed's walk over all MaxThreads slots for measurement.
 //stm:hotpath
-func (s *System) invalidateOthers(skip slotMask, bf *bloom.Filter, ring *obs.Ring) uint64 {
+func (s *System) invalidateOthers(skip slotMask, bf *bloom.Filter, ring *obs.Ring, kd *killDesc) uint64 {
 	var doomed uint64
 	if s.cfg.FlatScan {
 		for i := range s.slots {
 			if skip.has(i) {
 				continue
 			}
-			doomed += s.invalidateSlotFlat(i, bf, ring)
+			doomed += s.invalidateSlotFlat(i, bf, ring, kd)
 		}
 		return doomed
 	}
@@ -404,7 +424,7 @@ func (s *System) invalidateOthers(skip slotMask, bf *bloom.Filter, ring *obs.Rin
 	for w := range s.active.words {
 		b := s.active.words[w].Load() &^ skip[w]
 		for b != 0 {
-			doomed += s.invalidateSlot(nextSlot(w, &b), sum, bf, ring)
+			doomed += s.invalidateSlot(nextSlot(w, &b), sum, bf, ring, kd)
 		}
 	}
 	return doomed
@@ -413,14 +433,14 @@ func (s *System) invalidateOthers(skip slotMask, bf *bloom.Filter, ring *obs.Rin
 // invalidatePartition is invalidateOthers restricted to invalidation-server
 // k's partition (the bitmap words masked by partMask[k]).
 //stm:hotpath
-func (s *System) invalidatePartition(k int, skip slotMask, bf *bloom.Filter, ring *obs.Ring) uint64 {
+func (s *System) invalidatePartition(k int, skip slotMask, bf *bloom.Filter, ring *obs.Ring, kd *killDesc) uint64 {
 	var doomed uint64
 	if s.cfg.FlatScan {
 		for i := k; i < len(s.slots); i += s.cfg.InvalServers {
 			if skip.has(i) {
 				continue
 			}
-			doomed += s.invalidateSlotFlat(i, bf, ring)
+			doomed += s.invalidateSlotFlat(i, bf, ring, kd)
 		}
 		return doomed
 	}
@@ -429,7 +449,7 @@ func (s *System) invalidatePartition(k int, skip slotMask, bf *bloom.Filter, rin
 	for w := range s.active.words {
 		b := s.active.words[w].Load() & part[w] &^ skip[w]
 		for b != 0 {
-			doomed += s.invalidateSlot(nextSlot(w, &b), sum, bf, ring)
+			doomed += s.invalidateSlot(nextSlot(w, &b), sum, bf, ring, kd)
 		}
 	}
 	return doomed
@@ -442,7 +462,7 @@ func (s *System) invalidatePartition(k int, skip slotMask, bf *bloom.Filter, rin
 // so the CAS can only doom the exact transaction incarnation whose bits
 // were observed.
 //stm:hotpath
-func (s *System) invalidateSlot(i int, sum uint64, bf *bloom.Filter, ring *obs.Ring) uint64 {
+func (s *System) invalidateSlot(i int, sum uint64, bf *bloom.Filter, ring *obs.Ring, kd *killDesc) uint64 {
 	sl := &s.slots[i]
 	if !sl.readBF.SummaryIntersects(sum) {
 		return 0
@@ -453,6 +473,13 @@ func (s *System) invalidateSlot(i int, sum uint64, bf *bloom.Filter, ring *obs.R
 	}
 	if !sl.readBF.IntersectsFilter(bf) {
 		return 0
+	}
+	// Publish the killer descriptor before the doom CAS: a victim that
+	// observes its doom (same seq-cst order) also observes the descriptor.
+	// If the CAS fails the stale store is harmless — the victim only reads
+	// the mailbox when it actually aborts, and begin clears it.
+	if kd != nil {
+		sl.killer.Store(kd)
 	}
 	if sl.tryInvalidate(w) {
 		ring.Instant(obs.KInval, uint64(i))
@@ -466,7 +493,7 @@ func (s *System) invalidateSlot(i int, sum uint64, bf *bloom.Filter, ring *obs.R
 // rejection. Kept behind Config.FlatScan as the measured baseline and the
 // differential-test oracle for the two-level path.
 //stm:hotpath
-func (s *System) invalidateSlotFlat(i int, bf *bloom.Filter, ring *obs.Ring) uint64 {
+func (s *System) invalidateSlotFlat(i int, bf *bloom.Filter, ring *obs.Ring, kd *killDesc) uint64 {
 	sl := &s.slots[i]
 	if !sl.inUse.Load() {
 		return 0
@@ -477,6 +504,9 @@ func (s *System) invalidateSlotFlat(i int, bf *bloom.Filter, ring *obs.Ring) uin
 	}
 	if !sl.readBF.IntersectsFilter(bf) {
 		return 0
+	}
+	if kd != nil {
+		sl.killer.Store(kd) // before the CAS, as in invalidateSlot
 	}
 	if sl.tryInvalidate(w) {
 		ring.Instant(obs.KInval, uint64(i))

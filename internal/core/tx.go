@@ -118,6 +118,21 @@ type Tx struct {
 	ring *obs.Ring
 	// traceT0 is the attempt's begin timestamp on the trace clock.
 	traceT0 int64
+
+	// Attribution state, used only under Config.Attribution (see attr.go).
+	// attrKD is this thread's cached unsampled killer descriptor (immutable;
+	// reused by every inline commit that is not part of the 1-in-N exact
+	// sample); attrSeq counts writer commits for that sampling. attrT0 and
+	// the attr*Base counters anchor the attempt's wasted-work accounting.
+	// pendingRead is the Var id of a read doomed before Tx.Load could log
+	// it; conflictVar is the Var a validation/lock abort named at its site.
+	attrKD         *killDesc
+	attrSeq        uint64
+	attrT0         int64
+	attrReadsBase  uint64
+	attrWritesBase uint64
+	pendingRead    uint64
+	conflictVar    uint64
 }
 
 // Attempt returns the 1-based attempt number of the current execution, so
@@ -135,6 +150,13 @@ func (tx *Tx) begin() {
 	tx.reason = AbortInvalidated // engines overwrite at their abort sites
 	tx.traceT0 = tx.ring.Now()
 	tx.ring.InstantAt(obs.KBegin, tx.traceT0, uint64(tx.attempts))
+	if tx.sys.attr != nil {
+		tx.pendingRead = 0
+		tx.conflictVar = 0
+		tx.attrT0 = obs.Now()
+		tx.attrReadsBase = atomic.LoadUint64(&tx.stats.Reads)
+		tx.attrWritesBase = atomic.LoadUint64(&tx.stats.Writes)
+	}
 	if tx.sys.eng.usesSlots() {
 		// Order matters: clear the read signature while the slot is not
 		// alive, then set the active bit, then publish the new (epoch, ALIVE)
@@ -144,6 +166,13 @@ func (tx *Tx) begin() {
 		// scanner that misses the bit has proof the slot was not ALIVE at
 		// that point (DESIGN.md §9).
 		tx.slot.readBF.Clear()
+		if tx.sys.attr != nil {
+			// Retire the previous incarnation's killer descriptor while the
+			// slot is not alive: a doomer targeting this incarnation stores
+			// its descriptor after observing the ALIVE word below, so it
+			// cannot be erased by this clear.
+			tx.slot.killer.Store(nil)
+		}
 		tx.sys.active.set(tx.th.idx)
 		epoch := (tx.slot.status.Load() >> epochShift) + 1
 		tx.slot.status.Store(statusWord(epoch, txAlive))
@@ -250,6 +279,11 @@ func (tx *Tx) onConflictAbort() {
 	atomic.AddUint64(&tx.stats.AbortReasons[tx.reason], 1)
 	tx.ring.Span(obs.KTx, tx.traceT0, obs.OutcomeAbort)
 	tx.ring.Instant(obs.KAbort, uint64(tx.reason))
+	if a := tx.sys.attr; a != nil {
+		// Before the backoff pause: wasted work is the attempt's burned
+		// time, not the contention manager's deliberate wait.
+		tx.recordAttribution(a)
+	}
 	if tx.sys.cfg.CM != CMCommitterWins {
 		tx.th.backoff.Pause()
 	}

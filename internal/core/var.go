@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 )
 
@@ -8,6 +9,38 @@ import (
 // implementation hashes memory addresses; hashing a stable counter avoids any
 // dependence on Go allocator layout and keeps runs reproducible.
 var varID atomic.Uint64
+
+// varNames maps Var ids to the labels given via NewVarNamed, so attribution
+// reports and the stmtop dashboard can show "rbtree-root" instead of a raw
+// id. Registration is construction-time only; lookups happen off the hot
+// path (report building), so a plain RWMutex map suffices.
+var (
+	varNamesMu sync.RWMutex
+	varNames   map[uint64]string
+)
+
+// NewVarNamed returns a Var holding initial, labeled for attribution
+// reports. The label is advisory: it costs one map insert at construction
+// and nothing afterwards.
+func NewVarNamed(initial any, name string) *Var {
+	v := NewVar(initial)
+	varNamesMu.Lock()
+	if varNames == nil {
+		varNames = make(map[uint64]string)
+	}
+	varNames[v.id] = name
+	varNamesMu.Unlock()
+	return v
+}
+
+// VarName returns the label registered for id via NewVarNamed, or "" for
+// unlabeled Vars.
+func VarName(id uint64) string {
+	varNamesMu.RLock()
+	name := varNames[id]
+	varNamesMu.RUnlock()
+	return name
+}
 
 // box is an immutable published version of a Var's value. Write-back installs
 // a fresh box, so two loads returning the same *box are guaranteed to be the

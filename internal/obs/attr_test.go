@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestNilAttributionIsNoOp(t *testing.T) {
+	var a *Attribution
+	// None of these may panic or record anything.
+	a.RecordAbort(0, 0, AbortInvalidated, 100, 5)
+	a.RecordAbort(a.Unknown(), 3, AbortValidation, 1, 1)
+	a.OfferVar(2, 42)
+	a.RecordFPCheck(1, true)
+	rep := a.Report(ReportMeta{Commits: 7})
+	if rep.Enabled {
+		t.Fatal("nil attribution reported Enabled")
+	}
+	if rep.Commits != 7 {
+		t.Fatalf("Commits = %d, want 7 (meta passthrough)", rep.Commits)
+	}
+	if rep.Matrix != nil || rep.HotVars != nil {
+		t.Fatal("nil attribution reported contents")
+	}
+}
+
+func TestConflictMatrixRecordAndSnapshot(t *testing.T) {
+	m := NewConflictMatrix(4)
+	if m.Unknown() != 4 {
+		t.Fatalf("Unknown() = %d, want 4", m.Unknown())
+	}
+	m.Record(1, 0) // committer 1 doomed victim 0
+	m.Record(1, 0)
+	m.Record(3, 2)
+	m.Record(m.Unknown(), 2)
+	snap := m.Snapshot()
+	if len(snap) != 5 || len(snap[0]) != 4 {
+		t.Fatalf("snapshot dims %dx%d, want 5x4", len(snap), len(snap[0]))
+	}
+	want := map[[2]int]uint64{{1, 0}: 2, {3, 2}: 1, {4, 2}: 1}
+	for c := range snap {
+		for v := range snap[c] {
+			if snap[c][v] != want[[2]int{c, v}] {
+				t.Errorf("matrix[%d][%d] = %d, want %d", c, v, snap[c][v], want[[2]int{c, v}])
+			}
+		}
+	}
+}
+
+func TestConflictMatrixRowsAreCacheLinePadded(t *testing.T) {
+	m := NewConflictMatrix(3)
+	if m.stride%8 != 0 {
+		t.Fatalf("stride %d words is not a cache-line multiple", m.stride)
+	}
+	if m.stride < 4 {
+		t.Fatalf("stride %d words cannot hold %d committers", m.stride, 4)
+	}
+}
+
+func TestReservoirSmallSampleIsExact(t *testing.T) {
+	r := newReservoir(8, 1)
+	for i := uint64(0); i < 5; i++ {
+		r.Offer(i * 10)
+	}
+	got := r.sample(nil)
+	if len(got) != 5 {
+		t.Fatalf("retained %d, want 5", len(got))
+	}
+	for i, id := range got {
+		if id != uint64(i*10) {
+			t.Fatalf("sample[%d] = %d", i, id)
+		}
+	}
+}
+
+func TestReservoirIsUniformish(t *testing.T) {
+	// Offer ids 0..999 into a 100-slot reservoir; every retained id must be
+	// in range and the sample must not be just the first 100 (proof that
+	// replacement happens) nor have duplicates beyond what offers contained.
+	r := newReservoir(100, 42)
+	for i := uint64(0); i < 1000; i++ {
+		r.Offer(i)
+	}
+	got := r.sample(nil)
+	if len(got) != 100 {
+		t.Fatalf("retained %d, want 100", len(got))
+	}
+	beyond := 0
+	for _, id := range got {
+		if id >= 1000 {
+			t.Fatalf("sampled id %d never offered", id)
+		}
+		if id >= 100 {
+			beyond++
+		}
+	}
+	if beyond == 0 {
+		t.Fatal("reservoir never replaced an initial element over 1000 offers")
+	}
+}
+
+func TestAttributionReportInvariants(t *testing.T) {
+	a := NewAttribution(2, 16, 1)
+	a.RecordAbort(1, 0, AbortInvalidated, 100, 3) // real committer
+	a.RecordAbort(0, 1, AbortInvalidated, 200, 4)
+	a.RecordAbort(a.Unknown(), 0, AbortValidation, 50, 2) // unknown row
+	a.OfferVar(0, 7)
+	a.OfferVar(0, 7)
+	a.OfferVar(1, 9)
+	a.RecordFPCheck(0, true)
+	a.RecordFPCheck(1, false)
+
+	var meta ReportMeta
+	meta.Commits = 10
+	meta.Aborts = 3
+	meta.AbortReasons[AbortInvalidated] = 2
+	meta.AbortReasons[AbortValidation] = 1
+	meta.FilterBits = 1024
+	meta.TopK = 4
+	meta.NameOf = func(id uint64) string {
+		if id == 7 {
+			return "counter"
+		}
+		return ""
+	}
+	rep := a.Report(meta)
+
+	if !rep.Enabled || rep.Slots != 2 {
+		t.Fatalf("Enabled=%v Slots=%d", rep.Enabled, rep.Slots)
+	}
+	if rep.InvalidationAborts != 2 {
+		t.Fatalf("InvalidationAborts = %d, want 2 (validation abort must not enter the matrix)", rep.InvalidationAborts)
+	}
+	if rep.InvalidationAborts != meta.AbortReasons[AbortInvalidated] {
+		t.Fatal("matrix real-row sum does not match taxonomy invalidation count")
+	}
+	if rep.WastedNs["invalidated"] != 300 || rep.WastedNs["validation"] != 50 {
+		t.Fatalf("WastedNs = %v", rep.WastedNs)
+	}
+	if rep.WastedOps["invalidated"] != 7 || rep.WastedOps["validation"] != 2 {
+		t.Fatalf("WastedOps = %v", rep.WastedOps)
+	}
+	if rep.FP.Sampled != 2 || rep.FP.FalsePositive != 1 || rep.FP.Rate != 0.5 {
+		t.Fatalf("FP = %+v", rep.FP)
+	}
+	if rep.HotVarSamples != 3 || len(rep.HotVars) != 2 {
+		t.Fatalf("HotVars = %+v (samples %d)", rep.HotVars, rep.HotVarSamples)
+	}
+	if rep.HotVars[0].ID != 7 || rep.HotVars[0].Samples != 2 || rep.HotVars[0].Name != "counter" {
+		t.Fatalf("top hot var %+v", rep.HotVars[0])
+	}
+	if got := rep.TopKShare(1); got < 0.66 || got > 0.67 {
+		t.Fatalf("TopKShare(1) = %v, want 2/3", got)
+	}
+
+	// The report must round-trip through JSON (it is served by expvar).
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ConflictReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.InvalidationAborts != rep.InvalidationAborts || back.FP != rep.FP {
+		t.Fatal("report did not survive a JSON round trip")
+	}
+}
+
+func TestWriteOpenMetrics(t *testing.T) {
+	a := NewAttribution(2, 16, 1)
+	a.RecordAbort(1, 0, AbortInvalidated, 100, 3)
+	a.RecordAbort(a.Unknown(), 1, AbortInvalidated, 10, 1) // killer lost: unknown row
+	a.OfferVar(0, 5)
+	a.RecordFPCheck(0, false)
+	var meta ReportMeta
+	meta.Commits = 4
+	meta.AbortReasons[AbortInvalidated] = 2
+	meta.FilterBits = 1024
+	rep := a.Report(meta)
+
+	var sb strings.Builder
+	rep.WriteOpenMetrics(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE stm_commits counter",
+		"stm_commits_total 4",
+		`stm_aborts_total{reason="invalidated"} 2`,
+		"stm_attribution_enabled 1",
+		`stm_conflicts_total{committer="1",victim="0"} 1`,
+		`stm_conflicts_total{committer="unknown",victim="1"} 1`,
+		"stm_bloom_fp_checks_total 1",
+		`stm_bloom_fp_total{filter_bits="1024"} 0`,
+		`stm_wasted_ns_total{reason="invalidated"} 110`,
+		`stm_hot_var_samples{var="var-5"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be name{labels} value — a cheap validity
+	// check for the text format.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed metric line %q", line)
+		}
+	}
+}
+
+// TestPublishReplacesSource is the regression test for the stale-System bug:
+// before the indirection fix, the first Publish under a name kept serving its
+// snapshot forever, so every System after the first was invisible on
+// /debug/vars.
+func TestPublishReplacesSource(t *testing.T) {
+	Publish("obs-replace-test", func() any { return "first" })
+	Publish("obs-replace-test", func() any { return "second" })
+	v := expvar.Get("obs-replace-test")
+	if v == nil {
+		t.Fatal("name not registered")
+	}
+	if got := v.String(); got != `"second"` {
+		t.Fatalf("expvar serves %s, want \"second\" (stale snapshot bug)", got)
+	}
+}
+
+func TestServeMetricsOpenMetricsEndpoint(t *testing.T) {
+	a := NewAttribution(2, 16, 1)
+	a.RecordAbort(0, 1, AbortInvalidated, 10, 1)
+	PublishOpenMetrics(func() ConflictReport {
+		var meta ReportMeta
+		meta.Commits = 1
+		meta.AbortReasons[AbortInvalidated] = 1
+		return a.Report(meta)
+	})
+	addr, shutdown, err := ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"stm_commits_total 1",
+		`stm_conflicts_total{committer="0",victim="1"} 1`,
+		"# EOF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "# EOF") {
+		t.Error("/metrics exposition does not end with # EOF")
+	}
+}
+
+// BenchmarkAttributionOverhead compares the record sequence one conflict
+// abort executes (wasted-work + matrix + hot-var offer) against the same
+// sequence on a nil *Attribution, which is what Config.Attribution=false
+// executes. The nil case must be within noise of free (≤2 ns/op, 0 allocs).
+func BenchmarkAttributionOverhead(b *testing.B) {
+	abort := func(a *Attribution, i int) {
+		a.RecordAbort(1, 0, AbortInvalidated, uint64(i), 4)
+		a.OfferVar(0, uint64(i))
+	}
+	b.Run("disabled", func(b *testing.B) {
+		var a *Attribution
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			abort(a, i)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		a := NewAttribution(8, reservoirCap, 1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			abort(a, i)
+		}
+	})
+}

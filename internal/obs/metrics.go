@@ -7,32 +7,64 @@ import (
 	"net/http"
 	httppprof "net/http/pprof"
 	"sync"
+	"sync/atomic"
 )
 
-// published guards against duplicate expvar names (expvar.Publish panics on
-// re-registration, which would otherwise make repeated benchmark runs in one
-// process fatal).
+// published maps expvar names to an indirection cell holding the current
+// snapshot func. expvar.Publish panics on re-registration, so the expvar
+// entry is registered once per name and reads the cell — re-Publishing a
+// name swaps the cell contents, which is what lets tests and benchmarks
+// create System after System without /debug/vars serving the first one's
+// stats forever.
 var (
 	publishMu sync.Mutex
-	published = map[string]bool{}
+	published = map[string]*atomic.Pointer[func() any]{}
 )
 
-// Publish registers fn under name on the process-wide expvar registry,
-// idempotently: re-publishing an existing name replaces nothing and is not
-// an error (the first registration's func pointer keeps serving, which is
-// fine for the snapshot closures this package is used with).
+// Publish registers fn under name on the process-wide expvar registry.
+// Unlike expvar.Publish, re-publishing an existing name is not an error:
+// the name's expvar entry is redirected to the new fn, so the endpoint
+// always serves the most recently published snapshot source.
 func Publish(name string, fn func() any) {
 	publishMu.Lock()
 	defer publishMu.Unlock()
-	if published[name] {
-		return
+	cell, ok := published[name]
+	if !ok {
+		cell = &atomic.Pointer[func() any]{}
+		published[name] = cell
+		expvar.Publish(name, expvar.Func(func() any {
+			return (*cell.Load())()
+		}))
 	}
-	published[name] = true
-	expvar.Publish(name, expvar.Func(fn))
+	cell.Store(&fn)
+}
+
+// openMetricsSource holds the current OpenMetrics report source for the
+// /metrics endpoint, swappable the same way Publish entries are.
+var openMetricsSource atomic.Pointer[func() ConflictReport]
+
+// PublishOpenMetrics sets the report source behind the /metrics endpoint.
+// Later calls replace earlier ones (latest System wins, matching Publish).
+func PublishOpenMetrics(fn func() ConflictReport) {
+	openMetricsSource.Store(&fn)
+}
+
+// serveOpenMetrics renders the current report source as an OpenMetrics text
+// exposition. With no source published it serves an empty exposition rather
+// than an error, so scrapers configured before the first System come up clean.
+func serveOpenMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	if fn := openMetricsSource.Load(); fn != nil {
+		rep := (*fn)()
+		rep.WriteOpenMetrics(w)
+	}
+	fmt.Fprintf(w, "# EOF\n")
 }
 
 // ServeMetrics binds addr and serves the standard observability endpoints:
 //
+//	/metrics             OpenMetrics/Prometheus text (conflict attribution,
+//	                     abort taxonomy; see PublishOpenMetrics)
 //	/debug/vars          expvar (all Published funcs + Go runtime vars)
 //	/debug/pprof/...     net/http/pprof (profiles carry the goroutine
 //	                     labels core sets on client/server goroutines)
@@ -41,6 +73,7 @@ func Publish(name string, fn func() any) {
 // server runs until the process exits or the shutdown func is called.
 func ServeMetrics(addr string) (string, func() error, error) {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", serveOpenMetrics)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)

@@ -95,6 +95,15 @@ const (
 // see System.Tracer.
 type Tracer = obs.Tracer
 
+// ConflictReport is the conflict-attribution snapshot collected when
+// Config.Attribution is set: the who-aborted-whom matrix, wasted work per
+// abort reason, the bloom false-positive estimate, and the top-K hot-var
+// table. See System.ConflictReport.
+type ConflictReport = obs.ConflictReport
+
+// HotVar is one entry of ConflictReport's contended-variable table.
+type HotVar = obs.HotVar
+
 // System is one STM instance: a global timestamp domain, a cache-aligned
 // requests array, and (for the RInval engines) the commit/invalidation
 // server goroutines.
@@ -155,6 +164,11 @@ func (s *System) Algo() Algo { return s.sys.Algo() }
 // quiesced — after Close, or with all threads idle.
 func (s *System) Tracer() *Tracer { return s.sys.Tracer() }
 
+// ConflictReport returns the conflict-attribution snapshot. Safe to call
+// while transactions run; with Config.Attribution unset the report carries
+// only the Stats totals and Enabled=false.
+func (s *System) ConflictReport() ConflictReport { return s.sys.ConflictReport() }
+
 // Config returns the effective configuration.
 func (s *System) Config() Config { return s.sys.Config() }
 
@@ -210,6 +224,17 @@ type Var[T any] struct {
 func NewVar[T any](initial T) *Var[T] {
 	return &Var[T]{v: core.NewVar(initial)}
 }
+
+// NewVarNamed returns a Var labeled for conflict attribution: the name
+// appears in ConflictReport's hot-var table and on the stmtop dashboard in
+// place of the raw Var id. The label costs one registry insert at
+// construction and nothing on any hot path.
+func NewVarNamed[T any](initial T, name string) *Var[T] {
+	return &Var[T]{v: core.NewVarNamed(initial, name)}
+}
+
+// VarName returns the label a Var id was given via NewVarNamed, or "".
+func VarName(id uint64) string { return core.VarName(id) }
 
 // Load returns the transaction's view of the Var.
 func (v *Var[T]) Load(tx *Tx) T {
