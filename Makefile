@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet lint race bench-groupcommit bench-scan bench-conflict
+.PHONY: verify build test vet lint race bench-groupcommit bench-scan bench-conflict bench-shard
 
 ## verify: the full pre-merge gate — vet, the invariant linter, build, tests,
 ## and the race detector over the packages with real concurrency.
@@ -38,3 +38,9 @@ bench-scan:
 ## report uses -iters 400; this target is sized for a CI smoke run.
 bench-conflict:
 	$(GO) run ./cmd/rinval-bench -exp conflict -mode live -iters 100
+
+## bench-shard: short-mode sharded-commit-stream sweep (sim scaling + live
+## parity/handshake points) into results/BENCH_shard_sweep.json. The
+## checked-in report uses -iters 400; this target is sized for a CI smoke run.
+bench-shard:
+	$(GO) run ./cmd/rinval-bench -exp shardsweep -iters 100

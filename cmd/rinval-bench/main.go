@@ -18,6 +18,7 @@
 //	rinval-bench -exp groupcommit -mode live -out results/BENCH_group_commit.json
 //	rinval-bench -exp invalscan -mode live -out results/BENCH_inval_scan.json
 //	rinval-bench -exp conflict -mode live -out results/BENCH_conflict_attr.json
+//	rinval-bench -exp shardsweep -out results/BENCH_shard_sweep.json
 //	rinval-bench -exp fig7a -mode live -trace out.json   # Perfetto lifecycle trace
 //	rinval-bench -exp fig7a -mode live -metrics :8080    # expvar + pprof endpoint
 //
@@ -58,6 +59,7 @@ var validExps = []expDesc{
 	{"groupcommit", "group-commit batching sweep (live only)"},
 	{"invalscan", "invalidation-scan sweep: flat vs two-level (live only)"},
 	{"conflict", "conflict attribution: FP rate, hot-var skew, wasted work (live only)"},
+	{"shardsweep", "sharded commit streams: throughput vs Config.Shards (sim scaling + live parity)"},
 }
 
 type expDesc struct{ name, what string }
@@ -93,8 +95,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		svgDir   = flag.String("svg", "", "also render each table as an SVG chart into this directory")
-		out      = flag.String("out", "", "groupcommit/invalscan/conflict: JSON output path (default results/BENCH_<exp>.json)")
-		iters    = flag.Int("iters", 400, "groupcommit/invalscan/conflict: committed transactions per client")
+		out      = flag.String("out", "", "groupcommit/invalscan/conflict/shardsweep: JSON output path (default results/BENCH_<exp>.json)")
+		iters    = flag.Int("iters", 400, "groupcommit/invalscan/conflict/shardsweep: committed transactions per client")
 		trace    = flag.String("trace", "", "live mode: write a Chrome trace-event JSON of the last benchmark point to this path (open in Perfetto)")
 		metrics  = flag.String("metrics", "", "serve expvar and pprof on this address (e.g. :8080) for the duration of the run")
 	)
@@ -132,6 +134,12 @@ func main() {
 	}
 	if *exp == "conflict" {
 		if err := runConflict(*mode, *out, *iters, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *exp == "shardsweep" {
+		if err := runShardSweep(*out, *iters, *seed); err != nil {
 			fatal(err)
 		}
 		return
@@ -360,6 +368,38 @@ func runConflict(mode, out string, iters int, seed uint64) error {
 		Iters: iters,
 		Seed:  seed,
 	})
+	if err != nil {
+		return err
+	}
+	rep.Format(os.Stdout)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runShardSweep sweeps Config.Shards and writes the JSON report consumed by
+// the acceptance checks. It always runs both phases regardless of -mode: the
+// deterministic 64-core model carries the scaling claim (S independent
+// commit-server pipelines need S cores the live CI host does not have), and
+// the live phase anchors S=1 parity with the group-commit baseline plus the
+// cross-shard handshake accounting.
+func runShardSweep(out string, iters int, seed uint64) error {
+	if out == "" {
+		out = "results/BENCH_shard_sweep.json"
+	}
+	rep, err := bench.RunShardSweep(
+		[]stm.Algo{stm.RInvalV1, stm.RInvalV2},
+		bench.ShardSweepOpts{
+			Iters: iters,
+			Seed:  seed,
+		})
 	if err != nil {
 		return err
 	}

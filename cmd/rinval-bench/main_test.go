@@ -103,6 +103,9 @@ func TestExpHelpAndNames(t *testing.T) {
 	if !slices.Contains(names, "conflict") {
 		t.Errorf("conflict missing from %v", names)
 	}
+	if !slices.Contains(names, "shardsweep") {
+		t.Errorf("shardsweep missing from %v", names)
+	}
 }
 
 func TestRunLiveQuick(t *testing.T) {

@@ -1,0 +1,28 @@
+// The tempting-but-wrong cross-shard handshake: guarding each commit
+// stream with a sync.Mutex and labeling epochs with fmt on the server's
+// critical path. The stream lock must be the owner-word spin lock (a
+// blocked server goroutine would stall every client spinning on its
+// stream), and labels belong in the report layer.
+package hot
+
+import (
+	"fmt"
+	"sync"
+)
+
+type stream struct {
+	mu sync.Mutex
+	ts uint64
+}
+
+var streams [8]stream
+
+//stm:hotpath
+func lockStream(j int) {
+	streams[j].mu.Lock() // want hot-path
+}
+
+//stm:hotpath
+func epochLabel(shard int, ts uint64) string {
+	return fmt.Sprintf("shard%d@%d", shard, ts) // want hot-path
+}

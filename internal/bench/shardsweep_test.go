@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// TestRunShardSweep runs a tiny sweep and checks the report's invariants:
+// the sim phase is deterministic and scales single-shard throughput with S,
+// the live phase retires exactly the planted commit and cross-shard counts
+// (MaxBatch=1: one epoch per commit), and the report round-trips as JSON.
+func TestRunShardSweep(t *testing.T) {
+	rep, err := RunShardSweep([]stm.Algo{stm.RInvalV1},
+		ShardSweepOpts{
+			Shards:      []int{1, 4},
+			SimThreads:  []int{64},
+			CrossFracs:  []float64{0, 0.10},
+			LiveShards:  []int{1, 4},
+			LiveClients: []int{4},
+			Iters:       40,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SimPoints) != 2*2 || len(rep.LivePoints) != 2*2 {
+		t.Fatalf("points = %d sim, %d live; want 4 each", len(rep.SimPoints), len(rep.LivePoints))
+	}
+	for _, p := range rep.SimPoints {
+		if p.Shards == 4 && p.CrossFrac == 0 && p.SpeedupVsS1 < 2 {
+			t.Errorf("sim %s S=4: speedup %.2fx < 2x over S=1", p.Algo, p.SpeedupVsS1)
+		}
+	}
+	for _, p := range rep.LivePoints {
+		if p.Commits != 4*40 || p.Epochs != p.Commits {
+			t.Errorf("live %s S=%d: commits=%d epochs=%d, want 160 each",
+				p.Algo, p.Shards, p.Commits, p.Epochs)
+		}
+		// crossFrac=0.10 plants exactly one cross-shard tx per 10 iterations;
+		// at S=1 every footprint is single-stream by definition.
+		wantCross := uint64(0)
+		if p.Shards > 1 && p.CrossFrac > 0 {
+			wantCross = 4 * 40 / 10
+		}
+		if p.CrossShardCommits != wantCross {
+			t.Errorf("live %s S=%d cross=%.2f: cross-shard commits = %d, want %d",
+				p.Algo, p.Shards, p.CrossFrac, p.CrossShardCommits, wantCross)
+		}
+		if p.Shards > 1 {
+			var perShard uint64
+			for _, s := range p.PerShard {
+				perShard += s.Epochs
+			}
+			// Per-shard epoch counts must account for every epoch: the
+			// handshake charges its single combined epoch to the leader.
+			if perShard != p.Epochs {
+				t.Errorf("live %s S=%d: per-shard epochs sum %d != %d",
+					p.Algo, p.Shards, perShard, p.Epochs)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round ShardSweepReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(round.SimPoints) != len(rep.SimPoints) || len(round.LivePoints) != len(rep.LivePoints) {
+		t.Fatal("round-trip lost points")
+	}
+}

@@ -66,19 +66,20 @@ func sortedWriteIDs(ws *writeSet) []uint64 {
 	return ids
 }
 
-// epochKillDesc returns the killer descriptor for the commit-server's
+// epochKillDesc returns the killer descriptor for this shard commit-server's
 // current epoch: the batch leader as the representative committer and — on
 // every AttrSampleEvery-th epoch — the exact merged write ids of the whole
 // batch (the invalidation scan tests the merged signature, so the exact
 // check must test the merged set). Commit-server-owned; called once per
-// epoch after doomed members have been filtered out of batchIdx.
-func (e *remoteEngine) epochKillDesc() *killDesc {
-	e.attrEpochs++
-	kd := &killDesc{committer: e.batchIdx[0]}
-	if int(e.attrEpochs%uint64(e.sys.cfg.AttrSampleEvery)) == 0 {
+// epoch after doomed members have been filtered out of batchIdx (a
+// cross-shard epoch sets batchIdx to its single requester first).
+func (sv *shardServer) epochKillDesc() *killDesc {
+	sv.attrEpochs++
+	kd := &killDesc{committer: sv.batchIdx[0]}
+	if int(sv.attrEpochs%uint64(sv.sys.cfg.AttrSampleEvery)) == 0 {
 		var ids []uint64
-		for _, j := range e.batchIdx {
-			ws := e.sys.slots[j].req.Load().ws
+		for _, j := range sv.batchIdx {
+			ws := sv.sys.slots[j].req.Load().ws
 			for i := range ws.entries {
 				ids = append(ids, ws.entries[i].v.id)
 			}

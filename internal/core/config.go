@@ -122,6 +122,20 @@ type Config struct {
 	// batching and reproduces the paper's one-request-per-epoch protocol
 	// exactly. Default 8.
 	MaxBatch int
+	// Shards partitions Vars across independent commit streams, each with its
+	// own commit-server, timestamp, and invalidation partition (DESIGN.md
+	// §11). Every Var hashes to one shard at creation; a transaction that
+	// touches a single shard commits through that shard's stream alone, while
+	// a cross-shard transaction orders via a two-phase handshake that
+	// acquires the participating streams in shard-index order. 1 (the
+	// default) is the paper-exact single-stream baseline and the differential
+	// oracle, the same pattern FlatScan and MaxBatch=1 establish. Values that
+	// are not powers of two are rounded up to the next power of two (the
+	// shard hash is a mask); the rounded value must not exceed 64 (shard sets
+	// travel as uint64 bitmasks). Shards > 1 requires a remote-invalidation
+	// engine (RInvalV1/V2/V3) and, for V2/V3, an InvalServers count divisible
+	// by Shards so every stream gets the same number of invalidation-servers.
+	Shards int
 	// Bloom is the read/write signature geometry. Default bloom.DefaultParams.
 	Bloom bloom.Params
 	// CM selects the contention manager. Default CMBackoff.
@@ -186,12 +200,27 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxThreads == 0 {
 		c.MaxThreads = 64
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 1 || c.Shards > 64 {
+		return c, fmt.Errorf("core: Shards %d out of range [1,64]", c.Shards)
+	}
+	// Round up to a power of two so the shard hash is a mask (documented on
+	// the field); the rounded value must still fit a 64-bit shard set.
+	c.Shards = nextPow2(c.Shards)
+	if c.Shards > 64 {
+		return c, fmt.Errorf("core: Shards rounds up to %d, beyond the 64-shard bitmask limit", c.Shards)
+	}
 	if c.InvalServers == 0 {
 		// Default to the paper's sweet spot, clamped so small systems work
-		// out of the box.
+		// out of the box — but never below one invalidation-server per shard.
 		c.InvalServers = 4
 		if c.MaxThreads > 0 && c.InvalServers > c.MaxThreads {
 			c.InvalServers = c.MaxThreads
+		}
+		if c.InvalServers < c.Shards {
+			c.InvalServers = c.Shards
 		}
 	}
 	if c.StepsAhead == 0 {
@@ -247,5 +276,24 @@ func (c Config) withDefaults() (Config, error) {
 	default:
 		return c, fmt.Errorf("core: unknown Algo %d", c.Algo)
 	}
+	if c.Shards > 1 {
+		switch c.Algo {
+		case RInvalV1, RInvalV2, RInvalV3:
+		default:
+			return c, fmt.Errorf("core: Shards %d requires a remote-invalidation engine, not %v", c.Shards, c.Algo)
+		}
+		if c.InvalServers%c.Shards != 0 {
+			return c, fmt.Errorf("core: InvalServers %d is not divisible by Shards %d (each stream needs an equal invalidation partition)", c.InvalServers, c.Shards)
+		}
+	}
 	return c, nil
+}
+
+// nextPow2 rounds n up to the next power of two (n >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }

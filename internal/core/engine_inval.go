@@ -26,22 +26,26 @@ func (e *invalEngine) begin(tx *Tx) {}
 // stability re-check, then verify this transaction has not been invalidated.
 //stm:hotpath
 func (e *invalEngine) read(tx *Tx, v *Var) (*box, bool) {
-	return invalRead(tx, v, nil)
+	return invalRead(tx, v, false)
 }
 
-// invalRead is the read protocol shared by InvalSTM and the RInval engines.
-// caughtUp, when non-nil, adds the RInvalV2/V3 requirement that the reader's
-// own invalidation-server has processed every prior commit (Algorithm 3,
-// line 28). Time spent blocked — on an odd timestamp, a lagging server, or
-// an unstable window — is recorded as a read-wait trace span.
+// invalRead is the read protocol shared by InvalSTM and the RInval engines,
+// applied against the stream that owns v's shard (with Shards == 1 that is
+// the global timestamp, exactly the paper's protocol). waitCaughtUp adds the
+// RInvalV2/V3 requirement that the reader's own invalidation-server for that
+// stream has processed every prior commit (Algorithm 3, line 28). Time spent
+// blocked — on an odd timestamp, a lagging server, or an unstable window —
+// is recorded as a read-wait trace span.
 //stm:hotpath
-func invalRead(tx *Tx, v *Var, caughtUp func(t uint64) bool) (*box, bool) {
+func invalRead(tx *Tx, v *Var, waitCaughtUp bool) (*box, bool) {
 	sys := tx.sys
+	shard := int(v.shardH & sys.shardMask)
+	st := &sys.streams[shard]
 	var w spin.Waiter
 	var tw int64 // trace timestamp of the first blocked sample, if any
 	for {
-		t0 := sys.ts.Load()
-		if t0&1 == 1 || (caughtUp != nil && !caughtUp(t0)) {
+		t0 := st.ts.Load()
+		if t0&1 == 1 || (waitCaughtUp && st.invalTS[tx.slot.invalServer].Load() < t0) {
 			if tw == 0 {
 				tw = tx.ring.Now()
 			}
@@ -54,7 +58,7 @@ func invalRead(tx *Tx, v *Var, caughtUp func(t uint64) bool) (*box, bool) {
 		// ordered after this OR (sequential consistency), so its
 		// invalidation scan will see the bit.
 		tx.slot.readBF.Add(v.id)
-		if sys.ts.Load() != t0 {
+		if st.ts.Load() != t0 {
 			if tw == 0 {
 				tw = tx.ring.Now()
 			}
@@ -64,6 +68,9 @@ func invalRead(tx *Tx, v *Var, caughtUp func(t uint64) bool) (*box, bool) {
 		if tw != 0 {
 			tx.ring.Span(obs.KReadWait, tw, v.id)
 		}
+		// Record the shard this read ordered against: the commit request's
+		// touched mask must cover read-only shards too (see Tx.readShards).
+		tx.readShards |= 1 << uint(shard)
 		if tx.invalidated() {
 			tx.reason = AbortInvalidated
 			// This read is not in the log yet (Tx.Load appends only on
@@ -98,8 +105,8 @@ func (e *invalEngine) commit(tx *Tx) bool {
 	var w spin.Waiter
 	var t uint64
 	for {
-		t = sys.ts.Load()
-		if t&1 == 0 && sys.ts.CompareAndSwap(t, t+1) {
+		t = sys.streams[0].ts.Load()
+		if t&1 == 0 && sys.streams[0].ts.CompareAndSwap(t, t+1) {
 			break
 		}
 		w.Wait()
@@ -109,7 +116,7 @@ func (e *invalEngine) commit(tx *Tx) bool {
 	// invalidated us.
 	if tx.invalidated() {
 		tx.reason = AbortInvalidated
-		sys.ts.Store(t) // release without publishing anything
+		sys.streams[0].ts.Store(t) // release without publishing anything
 		return false
 	}
 	var kd *killDesc
@@ -118,7 +125,7 @@ func (e *invalEngine) commit(tx *Tx) bool {
 	}
 	atomic.AddUint64(&tx.stats.Invalidations, sys.invalidateOthers(tx.slot.selfMask, tx.ws.bf, tx.ring, kd))
 	tx.ws.writeBack()
-	sys.ts.Store(t + 2)
+	sys.streams[0].ts.Store(t + 2)
 	return true
 }
 

@@ -34,7 +34,7 @@ func (e *norecEngine) begin(tx *Tx) {
 func (e *norecEngine) read(tx *Tx, v *Var) (*box, bool) {
 	for {
 		b := v.loadBox()
-		if e.sys.ts.Load() == tx.start {
+		if e.sys.streams[0].ts.Load() == tx.start {
 			return b, true
 		}
 		// Timestamp moved: some transaction committed since our snapshot.
@@ -75,7 +75,7 @@ func (e *norecEngine) revalidate(tx *Tx) (uint64, bool) {
 			tx.ring.Span(obs.KValidate, tv, ops)
 			return 0, false
 		}
-		if e.sys.ts.Load() == t {
+		if e.sys.streams[0].ts.Load() == t {
 			tx.ring.Span(obs.KValidate, tv, ops)
 			return t, true
 		}
@@ -93,7 +93,7 @@ func (e *norecEngine) commit(tx *Tx) bool {
 		// Read-only: the read set is valid at tx.start by construction.
 		return true
 	}
-	for !e.sys.ts.CompareAndSwap(tx.start, tx.start+1) {
+	for !e.sys.streams[0].ts.CompareAndSwap(tx.start, tx.start+1) {
 		t, ok := e.revalidate(tx)
 		if !ok {
 			return false
@@ -101,7 +101,7 @@ func (e *norecEngine) commit(tx *Tx) bool {
 		tx.start = t
 	}
 	tx.ws.writeBack()
-	e.sys.ts.Store(tx.start + 2)
+	e.sys.streams[0].ts.Store(tx.start + 2)
 	return true
 }
 

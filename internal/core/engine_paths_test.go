@@ -190,7 +190,7 @@ func TestTL2ReadTooNewAborts(t *testing.T) {
 			// Simulate a concurrent commit: advance the global clock and
 			// stamp the var with the new version, which postdates this
 			// transaction's snapshot (but not the retry's).
-			ver := s.ts.Add(5)
+			ver := s.streams[0].ts.Add(5)
 			v.verlock.Store(ver << 1)
 			bumped = true
 			_ = tx.Load(v) // must conflict-abort

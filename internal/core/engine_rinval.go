@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"github.com/ssrg-vt/rinval/internal/bloom"
@@ -26,11 +27,38 @@ import (
 //     the *requester's own* invalidation-server is fully caught up (which
 //     makes the pre-commit status check conclusive). In-flight commit
 //     descriptors live in a ring of stepsAhead+1 padded pointers.
+//
+// With Config.Shards > 1 the engine runs one shardServer — a commit-server
+// plus its share of invalidation-servers — per commit stream. A request
+// whose touched-shard mask (read shards ∪ write shards) is a single bit is
+// served by that shard's server exactly as above, independently of every
+// other stream; a cross-shard request is led solo by the server of its
+// lowest touched shard through the two-phase stream handshake
+// (serveCrossShard, DESIGN.md §11). Shards == 1 is the paper-exact baseline:
+// one server set, no stream locks, identical instruction path.
 type remoteEngine struct {
 	sys        *System
-	numInval   int
+	numInval   int // invalidation-servers per commit stream (0 for V1)
 	stepsAhead int
 	maxBatch   int
+	sharded    bool // Shards > 1: stream locks + touched-mask routing
+
+	// srv[j] is shard j's server set. Exactly one entry when Shards == 1.
+	srv []*shardServer
+}
+
+// shardServer is one commit stream's server set: the commit-server loop, its
+// group-commit scratch, the stream's invalidation-server loops, and their
+// stats. Every field below the stream pointer is owned by this shard's
+// commit-server goroutine (the scratch) or by one invalidation-server (its
+// Stats entry); nothing here is shared across shards except via the stream
+// handshake, which hands a cross-shard leader ownership of another shard's
+// ring buffers only while it holds that stream's lock.
+type shardServer struct {
+	eng   *remoteEngine
+	sys   *System
+	shard int
+	st    *commitStream
 
 	// sigBufs[i] is the stable write-signature buffer for ring slot i. The
 	// commit-server copies the batch's merged write filter here before
@@ -73,55 +101,78 @@ type remoteEngine struct {
 }
 
 func newRemoteEngine(sys *System, numInval, stepsAhead int) *remoteEngine {
+	perShard := 0
+	if numInval > 0 {
+		perShard = sys.nInvalPerShard
+	}
 	e := &remoteEngine{
 		sys:        sys,
-		numInval:   numInval,
+		numInval:   perShard,
 		stepsAhead: stepsAhead,
 		maxBatch:   sys.cfg.MaxBatch,
-		invalSrv:   make([]Stats, numInval),
-		sigBufs:    make([]*bloom.Filter, len(sys.ring)),
-		memberBufs: make([]slotMask, len(sys.ring)),
-		batchIdx:   make([]int, 0, sys.cfg.MaxThreads),
-		batchWS:    bloom.NewFilter(sys.cfg.Bloom),
-		batchRS:    bloom.NewFilter(sys.cfg.Bloom),
-		batchMask:  newSlotMask(sys.cfg.MaxThreads),
-		scanBuf:    make([]int, 0, sys.cfg.MaxThreads),
-		epochBuf:   make([]int, 0, sys.cfg.MaxThreads),
+		sharded:    len(sys.streams) > 1,
 	}
-	for i := range e.sigBufs {
-		e.sigBufs[i] = bloom.NewFilter(sys.cfg.Bloom)
-		e.memberBufs[i] = newSlotMask(sys.cfg.MaxThreads)
-	}
-	e.invalRings = make([]*obs.Ring, numInval)
-	if sys.tracer != nil {
-		e.commitRing = sys.tracer.AddActor("commit-server")
-		for k := range e.invalRings {
-			e.invalRings[k] = sys.tracer.AddActor(fmt.Sprintf("inval-server-%d", k))
+	for j := range sys.streams {
+		sv := &shardServer{
+			eng:        e,
+			sys:        sys,
+			shard:      j,
+			st:         &sys.streams[j],
+			invalSrv:   make([]Stats, perShard),
+			sigBufs:    make([]*bloom.Filter, len(sys.streams[j].ring)),
+			memberBufs: make([]slotMask, len(sys.streams[j].ring)),
+			batchIdx:   make([]int, 0, sys.cfg.MaxThreads),
+			batchWS:    bloom.NewFilter(sys.cfg.Bloom),
+			batchRS:    bloom.NewFilter(sys.cfg.Bloom),
+			batchMask:  newSlotMask(sys.cfg.MaxThreads),
+			scanBuf:    make([]int, 0, sys.cfg.MaxThreads),
+			epochBuf:   make([]int, 0, sys.cfg.MaxThreads),
 		}
+		for i := range sv.sigBufs {
+			sv.sigBufs[i] = bloom.NewFilter(sys.cfg.Bloom)
+			sv.memberBufs[i] = newSlotMask(sys.cfg.MaxThreads)
+		}
+		sv.invalRings = make([]*obs.Ring, perShard)
+		if sys.tracer != nil {
+			sv.commitRing = sys.tracer.AddActor(serverName("commit-server", j, e.sharded))
+			for k := range sv.invalRings {
+				sv.invalRings[k] = sys.tracer.AddActor(serverName(fmt.Sprintf("inval-server-%d", k), j, e.sharded))
+			}
+		}
+		e.srv = append(e.srv, sv)
 	}
 	return e
+}
+
+// serverName qualifies a server-task label with its shard when sharding is
+// on; the single-stream names match the paper (and the seed) exactly.
+func serverName(base string, shard int, sharded bool) string {
+	if !sharded {
+		return base
+	}
+	return fmt.Sprintf("shard%d-%s", shard, base)
 }
 
 func (e *remoteEngine) usesSlots() bool { return true }
 
 func (e *remoteEngine) begin(tx *Tx) {}
 
-// read uses the shared invalidation read protocol. With invalidation-servers
-// present, a read additionally requires the reader's own server to have
-// processed every prior commit (Algorithm 3 line 28): only then is "my
-// status flag is still ALIVE" proof that no prior commit conflicted.
+// read uses the shared invalidation read protocol against the stream owning
+// v's shard. With invalidation-servers present, a read additionally requires
+// the reader's own server for that stream to have processed every prior
+// commit (Algorithm 3 line 28): only then is "my status flag is still ALIVE"
+// proof that no prior commit conflicted.
 //stm:hotpath
 func (e *remoteEngine) read(tx *Tx, v *Var) (*box, bool) {
-	if e.numInval == 0 {
-		return invalRead(tx, v, nil)
-	}
-	myTS := &e.sys.invalTS[tx.slot.invalServer]
-	return invalRead(tx, v, func(t uint64) bool { return myTS.Load() >= t })
+	return invalRead(tx, v, e.numInval > 0)
 }
 
 // commit is the client side of Algorithm 2's CLIENT COMMIT: publish the
-// request, then spin on the private reply field until the commit-server
-// answers. Identical for all three variants.
+// request, then spin on the private reply field until a commit-server
+// answers. Identical for all three variants. Under sharding the request also
+// carries the transaction's shard masks, computed here from the write set
+// and the shards its reads visited; the server of the lowest touched shard
+// owns the request.
 //stm:hotpath
 func (e *remoteEngine) commit(tx *Tx) bool {
 	if tx.ws.len() == 0 {
@@ -134,8 +185,17 @@ func (e *remoteEngine) commit(tx *Tx) bool {
 	if readerBiasedSelfAbort(tx) {
 		return false
 	}
+	req := &commitReq{ws: tx.ws, writes: 1, touched: 1}
+	if e.sharded {
+		var writes uint64
+		for i := range tx.ws.entries {
+			writes |= 1 << (tx.ws.entries[i].v.shardH & e.sys.shardMask)
+		}
+		req.writes = writes
+		req.touched = writes | tx.readShards
+	}
 	sl := tx.slot
-	sl.req.Store(&commitReq{ws: tx.ws})
+	sl.req.Store(req)
 	sl.state.Store(reqPending)
 	tx.ring.Instant(obs.KCommitReq, 0)
 	var w spin.Waiter
@@ -158,21 +218,31 @@ func (e *remoteEngine) commit(tx *Tx) bool {
 func (e *remoteEngine) abort(tx *Tx) {}
 
 func (e *remoteEngine) serverTasks() []serverTask {
-	tasks := []serverTask{{name: "commit-server", run: e.commitServerMain}}
-	for k := 0; k < e.numInval; k++ {
-		k := k
+	var tasks []serverTask
+	for j := range e.srv {
+		sv := e.srv[j]
 		tasks = append(tasks, serverTask{
-			name: fmt.Sprintf("inval-server-%d", k),
-			run:  func(stop func() bool) { e.invalServerMain(k, stop) },
+			name: serverName("commit-server", j, e.sharded),
+			run:  sv.commitServerMain,
 		})
+		for k := 0; k < e.numInval; k++ {
+			k := k
+			tasks = append(tasks, serverTask{
+				name: serverName(fmt.Sprintf("inval-server-%d", k), j, e.sharded),
+				run:  func(stop func() bool) { sv.invalServerMain(k, stop) },
+			})
+		}
 	}
 	return tasks
 }
 
 func (e *remoteEngine) serverStats() Stats {
-	agg := e.commitSrv
-	for i := range e.invalSrv {
-		agg.Add(e.invalSrv[i])
+	var agg Stats
+	for _, sv := range e.srv {
+		agg.Add(sv.commitSrv)
+		for i := range sv.invalSrv {
+			agg.Add(sv.invalSrv[i])
+		}
 	}
 	return agg
 }
@@ -184,10 +254,15 @@ func (e *remoteEngine) serverStats() Stats {
 // array (V3 may defer a request whose invalidation-server lags, but that
 // server's catch-up is itself bounded by the ring; a request left out of a
 // batch for incompatibility stays PENDING and leads its own epoch when the
-// scan reaches it).
+// scan reaches it). Under sharding each server claims only the requests it
+// homes — single-shard requests of its own stream, plus cross-shard requests
+// whose lowest touched shard is its stream — so a request still has exactly
+// one server and the single-answerer protocol is unchanged.
 //stm:hotpath
-func (e *remoteEngine) commitServerMain(stop func() bool) {
-	sys := e.sys
+func (sv *shardServer) commitServerMain(stop func() bool) {
+	sys := sv.sys
+	sharded := sv.eng.sharded
+	home := uint64(1) << uint(sv.shard)
 	var w spin.Waiter
 	for !stop() {
 		progress := false
@@ -195,12 +270,33 @@ func (e *remoteEngine) commitServerMain(stop func() bool) {
 		// ALIVE for its whole wait, so its bit is set, and the per-candidate
 		// state check below filters the (routine) stale bits. A request
 		// published after the bitmap snapshot is picked up on the next pass.
-		e.scanBuf = sys.appendPendingCandidates(e.scanBuf[:0], 0)
-		for _, i := range e.scanBuf {
+		sv.scanBuf = sys.appendPendingCandidates(sv.scanBuf[:0], 0)
+		for _, i := range sv.scanBuf {
 			if sys.slots[i].state.Load() != reqPending {
 				continue
 			}
-			if e.serveEpochFrom(i) {
+			if sharded {
+				// The request pointer may already be retracted if another
+				// server answered its owner between the state check and this
+				// load; only requests homed here are served by this loop.
+				req := sys.slots[i].req.Load()
+				if req == nil {
+					continue
+				}
+				if req.touched&(req.touched-1) != 0 {
+					// Cross-shard: led solo by the lowest touched shard.
+					if bits.TrailingZeros64(req.touched) != sv.shard {
+						continue
+					}
+					sv.serveCrossShard(i, req)
+					progress = true
+					continue
+				}
+				if req.touched != home {
+					continue
+				}
+			}
+			if sv.serveEpochFrom(i) {
 				progress = true
 			}
 		}
@@ -212,20 +308,31 @@ func (e *remoteEngine) commitServerMain(stop func() bool) {
 	}
 }
 
-// serveEpochFrom executes one group-commit epoch: starting at slot first, it
-// collects up to maxBatch pending requests whose signatures are mutually
-// compatible — no W/W overlap (two members writing the same location) and no
-// R/W overlap in either direction (a member reading what another writes),
-// tested on the bloom signatures — then retires the whole batch under a
-// single odd/even timestamp transition and replies to every member.
-// Incompatible or deferred requests stay PENDING for a later epoch. It
-// returns false when no reply was sent (V3: every pending requester's
-// invalidation-server lags) so the caller's scan can back off.
+// serveEpochFrom executes one group-commit epoch on this shard's stream:
+// starting at slot first, it collects up to maxBatch pending requests homed
+// to this stream whose signatures are mutually compatible — no W/W overlap
+// (two members writing the same location) and no R/W overlap in either
+// direction (a member reading what another writes), tested on the bloom
+// signatures — then retires the whole batch under a single odd/even
+// timestamp transition and replies to every member. Incompatible or deferred
+// requests stay PENDING for a later epoch. It returns false when no reply
+// was sent (V3: every pending requester's invalidation-server lags) so the
+// caller's scan can back off. Under sharding the epoch runs with the stream
+// lock held, serializing against cross-shard leaders that acquired this
+// stream; with one shard the lone commit-server is the only epoch driver and
+// never locks.
 //stm:hotpath
-func (e *remoteEngine) serveEpochFrom(first int) bool {
-	sys := e.sys
-	ring := e.commitRing
-	phases := &e.commitSrv.Server
+func (sv *shardServer) serveEpochFrom(first int) bool {
+	sys := sv.sys
+	st := sv.st
+	sharded := sv.eng.sharded
+	home := uint64(1) << uint(sv.shard)
+	ring := sv.commitRing
+	phases := &sv.commitSrv.Server
+	if sharded {
+		sys.lockStream(sv.shard)
+		defer sys.unlockStream(sv.shard)
+	}
 	// Phase timestamps cost a clock read each, so they are taken only when
 	// someone consumes them: the phase histograms (cfg.Stats) or the trace
 	// ring. The queue-depth and step-ahead samples are clock-free and
@@ -235,14 +342,14 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 	if timing {
 		tStart = obs.Now()
 	}
-	t := sys.ts.Load() // even: only this goroutine makes it odd
+	t := st.ts.Load() // even: only the stream-lock holder makes it odd
 
-	if e.numInval > 0 && e.stepsAhead > 0 {
+	if sv.eng.numInval > 0 && sv.eng.stepsAhead > 0 {
 		// V3 step-ahead occupancy: how many commits this server is running
-		// ahead of the slowest invalidation-server right now.
-		minTS := sys.invalTS[0].Load()
-		for k := 1; k < len(sys.invalTS); k++ {
-			if v := sys.invalTS[k].Load(); v < minTS {
+		// ahead of the stream's slowest invalidation-server right now.
+		minTS := st.invalTS[0].Load()
+		for k := 1; k < len(st.invalTS); k++ {
+			if v := st.invalTS[k].Load(); v < minTS {
 				minTS = v
 			}
 		}
@@ -257,21 +364,30 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 	// signature must not intersect the write union (it read something a
 	// member overwrites). With MaxBatch=1 this degenerates to the paper's
 	// one-request protocol: the leader alone, no compatibility tests.
-	e.batchIdx = e.batchIdx[:0]
-	e.batchWS.Clear()
-	e.batchRS.Clear()
+	sv.batchIdx = sv.batchIdx[:0]
+	sv.batchWS.Clear()
+	sv.batchRS.Clear()
 	pending := uint64(0) // queue depth: every PENDING request the scan saw
-	e.epochBuf = sys.appendPendingCandidates(e.epochBuf[:0], first)
-	for _, j := range e.epochBuf {
-		if len(e.batchIdx) >= e.maxBatch {
+	sv.epochBuf = sys.appendPendingCandidates(sv.epochBuf[:0], first)
+	for _, j := range sv.epochBuf {
+		if len(sv.batchIdx) >= sv.eng.maxBatch {
 			break
 		}
 		s := &sys.slots[j]
 		if s.state.Load() != reqPending {
 			continue
 		}
+		req := s.req.Load()
+		if req == nil {
+			continue
+		}
+		if sharded && req.touched != home {
+			// Another stream's request, or a cross-shard one (those lead
+			// their own handshake epoch); not this epoch's to serve.
+			continue
+		}
 		pending++
-		if e.numInval > 0 && e.stepsAhead > 0 && sys.invalTS[s.invalServer].Load() < t {
+		if sv.eng.numInval > 0 && sv.eng.stepsAhead > 0 && st.invalTS[s.invalServer].Load() < t {
 			// V3: the requester's own server must have applied every prior
 			// commit's invalidation for the ALIVE check below to be
 			// conclusive (Alg. 4 l. 2). Defer; serve requests that are ready.
@@ -279,18 +395,17 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 			// server up to t before the ALIVE checks.)
 			continue
 		}
-		req := s.req.Load()
-		if len(e.batchIdx) > 0 {
-			if req.ws.intersects(e.batchWS) || req.ws.intersects(e.batchRS) ||
-				s.readBF.IntersectsFilter(e.batchWS) {
+		if len(sv.batchIdx) > 0 {
+			if req.ws.intersects(sv.batchWS) || req.ws.intersects(sv.batchRS) ||
+				s.readBF.IntersectsFilter(sv.batchWS) {
 				continue
 			}
 		}
-		e.batchIdx = append(e.batchIdx, j)
-		e.batchWS.UnionWith(req.ws.bf)
-		e.batchRS.UnionAtomic(s.readBF)
+		sv.batchIdx = append(sv.batchIdx, j)
+		sv.batchWS.UnionWith(req.ws.bf)
+		sv.batchRS.UnionAtomic(s.readBF)
 	}
-	if len(e.batchIdx) == 0 {
+	if len(sv.batchIdx) == 0 {
 		return false
 	}
 	phases.QueueDepth.Record(pending)
@@ -305,16 +420,16 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 		tPrev = now
 	}
 
-	if e.numInval > 0 {
+	if sv.eng.numInval > 0 {
 		// No invalidation-server may trail by more than stepsAhead commits;
 		// this also guarantees the ring entry we are about to overwrite has
 		// been consumed by every server (Alg. 3 l. 7 / Alg. 4 l. 5). For V2
 		// (stepsAhead == 0) it additionally catches every server up to t,
 		// which makes the per-member ALIVE checks below conclusive.
-		lagBudget := 2 * uint64(e.stepsAhead)
-		for k := range sys.invalTS {
+		lagBudget := 2 * uint64(sv.eng.stepsAhead)
+		for k := range st.invalTS {
 			var w spin.Waiter
-			for sys.invalTS[k].Load()+lagBudget < t {
+			for st.invalTS[k].Load()+lagBudget < t {
 				w.Wait()
 			}
 		}
@@ -336,17 +451,17 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 	// the only unprocessed descriptor will be this epoch's, which skips
 	// members by mask.
 	n := 0
-	for _, j := range e.batchIdx {
+	for _, j := range sv.batchIdx {
 		s := &sys.slots[j]
 		if _, alive := s.aliveWord(); !alive {
 			s.state.Store(reqAborted)
 			continue
 		}
-		e.batchIdx[n] = j
+		sv.batchIdx[n] = j
 		n++
 	}
-	dropped := n < len(e.batchIdx)
-	e.batchIdx = e.batchIdx[:n]
+	dropped := n < len(sv.batchIdx)
+	sv.batchIdx = sv.batchIdx[:n]
 	if n == 0 {
 		return true // progress: abort replies were sent
 	}
@@ -354,25 +469,25 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 		// Rebuild the epoch signature from the survivors so a doomed
 		// member's writes do not cause spurious invalidations. The doomed
 		// slots have been answered; only survivors' requests are re-read.
-		e.batchWS.Clear()
-		for _, j := range e.batchIdx {
-			e.batchWS.UnionWith(sys.slots[j].req.Load().ws.bf)
+		sv.batchWS.Clear()
+		for _, j := range sv.batchIdx {
+			sv.batchWS.UnionWith(sys.slots[j].req.Load().ws.bf)
 		}
 	}
 
 	var kd *killDesc
 	if sys.attr != nil {
-		kd = e.epochKillDesc()
+		kd = sv.epochKillDesc()
 	}
-	if e.numInval == 0 {
+	if sv.eng.numInval == 0 {
 		// V1: one serial invalidation scan + write-back epoch for the batch.
-		e.batchMask.clearAll()
-		for _, j := range e.batchIdx {
-			e.batchMask.set(j)
+		sv.batchMask.clearAll()
+		for _, j := range sv.batchIdx {
+			sv.batchMask.set(j)
 		}
-		sys.ts.Add(1)
-		doomed := sys.invalidateOthers(e.batchMask, e.batchWS, e.commitRing, kd)
-		atomic.AddUint64(&e.commitSrv.Invalidations, doomed)
+		st.ts.Add(1)
+		doomed := sys.invalidateOthers(sv.batchMask, sv.batchWS, sv.commitRing, kd)
+		atomic.AddUint64(&sv.commitSrv.Invalidations, doomed)
 		if timing {
 			// V1 has no lag wait; the inline scan itself is the
 			// invalidation phase.
@@ -383,29 +498,29 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 			ring.SpanAt(obs.KInvalWait, tPrev, now, doomed)
 			tPrev = now
 		}
-		for _, j := range e.batchIdx {
+		for _, j := range sv.batchIdx {
 			sys.slots[j].req.Load().ws.writeBack()
 		}
-		sys.ts.Add(1)
+		st.ts.Add(1)
 	} else {
 		// V2/V3: hand the merged signature and member mask to the
 		// invalidation-servers, then write back in parallel with their
 		// scans. Signature and mask are copied into ring-owned buffers
 		// because a client reclaims its write set the moment it sees the
 		// reply, while the scans may still run.
-		slot := (t / 2) % uint64(len(sys.ring))
-		e.sigBufs[slot].CopyFrom(e.batchWS)
-		m := e.memberBufs[slot]
+		slot := (t / 2) % uint64(len(st.ring))
+		sv.sigBufs[slot].CopyFrom(sv.batchWS)
+		m := sv.memberBufs[slot]
 		m.clearAll()
-		for _, j := range e.batchIdx {
+		for _, j := range sv.batchIdx {
 			m.set(j)
 		}
-		sys.ring[slot].Store(&commitDesc{bf: e.sigBufs[slot], members: m, kd: kd})
-		sys.ts.Add(1)
-		for _, j := range e.batchIdx {
+		st.ring[slot].Store(&commitDesc{bf: sv.sigBufs[slot], members: m, kd: kd})
+		st.ts.Add(1)
+		for _, j := range sv.batchIdx {
 			sys.slots[j].req.Load().ws.writeBack()
 		}
-		sys.ts.Add(1)
+		st.ts.Add(1)
 	}
 	if timing {
 		now := obs.Now()
@@ -415,7 +530,7 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 		ring.SpanAt(obs.KWriteBack, tPrev, now, uint64(n))
 		tPrev = now
 	}
-	for _, j := range e.batchIdx {
+	for _, j := range sv.batchIdx {
 		sys.slots[j].state.Store(reqCommitted)
 	}
 	if timing {
@@ -426,33 +541,158 @@ func (e *remoteEngine) serveEpochFrom(first int) bool {
 		ring.SpanAt(obs.KReply, tPrev, now, uint64(n))
 		ring.SpanAt(obs.KEpoch, tStart, now, uint64(n))
 	}
-	atomic.AddUint64(&e.commitSrv.Commits, uint64(n))
-	atomic.AddUint64(&e.commitSrv.Epochs, 1)
-	e.commitSrv.BatchSizes.Record(uint64(n))
+	atomic.AddUint64(&sv.commitSrv.Commits, uint64(n))
+	atomic.AddUint64(&sv.commitSrv.Epochs, 1)
+	sv.commitSrv.BatchSizes.Record(uint64(n))
 	return true
 }
 
-// invalServerMain is Algorithm 3's INVALIDATION-SERVER LOOP: whenever the
-// global timestamp passes this server's local timestamp, fetch the pending
-// commit descriptor, doom conflicting transactions in this server's
-// partition, and advance the local timestamp by 2.
+// serveCrossShard retires one cross-shard commit request through the
+// two-phase stream handshake (DESIGN.md §11). Phase one acquires every
+// touched stream's lock in ascending shard index order (the total order
+// makes concurrent handshakes deadlock-free) and — with invalidation-servers
+// present — drains each touched stream's servers fully to its frozen even
+// timestamp, which makes the requester's ALIVE check conclusive exactly as
+// V2's lag wait does on a single stream. Phase two publishes one combined
+// invalidation pass — the full write signature into every written stream's
+// ring (V2/V3) or one inline scan while the written streams are odd (V1) —
+// writes back, raises/releases the written timestamps (odd ascending, even
+// descending), replies, and unlocks in reverse order. Only the lowest
+// touched shard's commit-server runs this, so each request still has a
+// single answerer. Called only when Shards > 1.
 //stm:hotpath
-func (e *remoteEngine) invalServerMain(k int, stop func() bool) {
-	sys := e.sys
-	st := &e.invalSrv[k]
-	ring := e.invalRings[k]
+func (sv *shardServer) serveCrossShard(i int, req *commitReq) {
+	sys := sv.sys
+	s := &sys.slots[i]
+	touched := req.touched
+	ring := sv.commitRing
+	timing := sys.cfg.Stats || ring != nil
+	var tStart int64
+	if timing {
+		tStart = obs.Now()
+	}
+	for m := touched; m != 0; m &= m - 1 {
+		sys.lockStream(bits.TrailingZeros64(m))
+	}
+	if sv.eng.numInval > 0 {
+		// Drain every touched stream: with its lock held the timestamp is
+		// frozen even, so catching each local server up to it applies every
+		// prior commit of that stream — the requester's status flag then
+		// conclusively reflects all of them, and every ring slot we may
+		// overwrite below has been consumed.
+		for m := touched; m != 0; m &= m - 1 {
+			st := &sys.streams[bits.TrailingZeros64(m)]
+			t := st.ts.Load()
+			for k := range st.invalTS {
+				var w spin.Waiter
+				for st.invalTS[k].Load() < t {
+					w.Wait()
+				}
+			}
+		}
+	}
+	if _, alive := s.aliveWord(); !alive {
+		s.state.Store(reqAborted)
+		unlockStreamsDesc(sys, touched)
+		return
+	}
+	var kd *killDesc
+	if sys.attr != nil {
+		sv.batchIdx = append(sv.batchIdx[:0], i)
+		kd = sv.epochKillDesc()
+	}
+	writes := req.writes
+	if sv.eng.numInval == 0 {
+		// V1: raise every written stream odd, run one combined inline scan
+		// (dooms precede write-back, as on a single stream), write back, then
+		// release the timestamps even.
+		for m := writes; m != 0; m &= m - 1 {
+			sys.streams[bits.TrailingZeros64(m)].ts.Add(1)
+		}
+		doomed := sys.invalidateOthers(s.selfMask, req.ws.bf, ring, kd)
+		atomic.AddUint64(&sv.commitSrv.Invalidations, doomed)
+		req.ws.writeBack()
+		for m := writes; m != 0; {
+			j := bits.Len64(m) - 1
+			m &^= 1 << uint(j)
+			sys.streams[j].ts.Add(1)
+		}
+	} else {
+		// V2/V3: publish the combined descriptor into every written stream's
+		// ring, so each stream's servers doom its readers asynchronously. The
+		// signature is copied into that stream's ring-slot buffer (safe: the
+		// drain above proved the slot consumed, and the stream lock keeps its
+		// owner out); the member mask is the requester's immutable selfMask.
+		// The same victim may be scanned once per written stream — the doom
+		// CAS is epoch-guarded, so duplicates are no-ops.
+		for m := writes; m != 0; m &= m - 1 {
+			j := bits.TrailingZeros64(m)
+			st := &sys.streams[j]
+			t := st.ts.Load()
+			slot := (t / 2) % uint64(len(st.ring))
+			buf := sv.eng.srv[j].sigBufs[slot]
+			buf.CopyFrom(req.ws.bf)
+			st.ring[slot].Store(&commitDesc{bf: buf, members: s.selfMask, kd: kd})
+			st.ts.Add(1)
+		}
+		req.ws.writeBack()
+		for m := writes; m != 0; {
+			j := bits.Len64(m) - 1
+			m &^= 1 << uint(j)
+			sys.streams[j].ts.Add(1)
+		}
+	}
+	s.state.Store(reqCommitted)
+	unlockStreamsDesc(sys, touched)
+	if timing {
+		now := obs.Now()
+		if sys.cfg.Stats {
+			sv.commitSrv.Server.WriteBackNs.Record(uint64(now - tStart))
+		}
+		ring.SpanAt(obs.KEpoch, tStart, now, 1)
+	}
+	atomic.AddUint64(&sv.commitSrv.Commits, 1)
+	atomic.AddUint64(&sv.commitSrv.Epochs, 1)
+	atomic.AddUint64(&sv.commitSrv.CrossShardCommits, 1)
+	sv.commitSrv.BatchSizes.Record(1)
+}
+
+// unlockStreamsDesc releases the stream locks in mask in descending shard
+// order — the reverse of the handshake's acquisition order.
+//stm:hotpath
+func unlockStreamsDesc(sys *System, mask uint64) {
+	for m := mask; m != 0; {
+		j := bits.Len64(m) - 1
+		m &^= 1 << uint(j)
+		sys.unlockStream(j)
+	}
+}
+
+// invalServerMain is Algorithm 3's INVALIDATION-SERVER LOOP for this shard's
+// stream: whenever the stream timestamp passes this server's local
+// timestamp, fetch the pending commit descriptor, doom conflicting
+// transactions in this server's partition, and advance the local timestamp
+// by 2. Every stream's server k covers the same global slot partition k;
+// concurrent scans from different streams are safe because the doom CAS is
+// epoch-guarded and idempotent.
+//stm:hotpath
+func (sv *shardServer) invalServerMain(k int, stop func() bool) {
+	sys := sv.sys
+	st := sv.st
+	stats := &sv.invalSrv[k]
+	ring := sv.invalRings[k]
 	var w spin.Waiter
 	for !stop() {
-		my := sys.invalTS[k].Load()
-		if sys.ts.Load() > my {
+		my := st.invalTS[k].Load()
+		if st.ts.Load() > my {
 			// The descriptor for base timestamp `my` was published before
-			// the timestamp moved past it, and the commit-server cannot
+			// the timestamp moved past it, and no epoch driver can
 			// overwrite it until this server advances (ring bound).
 			t0 := ring.Now()
-			d := sys.ring[(my/2)%uint64(len(sys.ring))].Load()
+			d := st.ring[(my/2)%uint64(len(st.ring))].Load()
 			doomed := sys.invalidatePartition(k, d.members, d.bf, ring, d.kd)
-			atomic.AddUint64(&st.Invalidations, doomed)
-			sys.invalTS[k].Store(my + 2)
+			atomic.AddUint64(&stats.Invalidations, doomed)
+			st.invalTS[k].Store(my + 2)
 			ring.Span(obs.KInvalScan, t0, doomed)
 			w.Reset()
 		} else {

@@ -43,7 +43,7 @@ func (e *tl2Engine) usesSlots() bool { return false }
 
 // begin samples the read version.
 func (e *tl2Engine) begin(tx *Tx) {
-	tx.start = e.sys.ts.Load()
+	tx.start = e.sys.streams[0].ts.Load()
 }
 
 // read returns v's value if it is committed no later than the transaction's
@@ -136,7 +136,7 @@ func (e *tl2Engine) commit(tx *Tx) bool {
 		locked++
 	}
 
-	wv := e.sys.ts.Add(1)
+	wv := e.sys.streams[0].ts.Add(1)
 
 	// Validate the read set: every location must be unlocked (or locked by
 	// us, i.e. in our write set) and unchanged since the snapshot.

@@ -61,19 +61,19 @@ func TestGroupCommitDisjointBatchOneEpoch(t *testing.T) {
 			}
 
 			eng := s.eng.(*remoteEngine)
-			if !eng.serveEpochFrom(0) {
+			if !eng.srv[0].serveEpochFrom(0) {
 				t.Fatal("serveEpochFrom made no progress")
 			}
-			if got := s.ts.Load(); got != 2 {
+			if got := s.streams[0].ts.Load(); got != 2 {
 				t.Errorf("timestamp after one batch epoch = %d, want 2", got)
 			}
-			if eng.commitSrv.Epochs != 1 {
-				t.Errorf("Epochs = %d, want 1", eng.commitSrv.Epochs)
+			if eng.srv[0].commitSrv.Epochs != 1 {
+				t.Errorf("Epochs = %d, want 1", eng.srv[0].commitSrv.Epochs)
 			}
-			if eng.commitSrv.Commits != n {
-				t.Errorf("server Commits = %d, want %d", eng.commitSrv.Commits, n)
+			if eng.srv[0].commitSrv.Commits != n {
+				t.Errorf("server Commits = %d, want %d", eng.srv[0].commitSrv.Commits, n)
 			}
-			if got := eng.commitSrv.BatchSizes.Max(); got != n {
+			if got := eng.srv[0].commitSrv.BatchSizes.Max(); got != n {
 				t.Errorf("recorded batch size = %d, want %d", got, n)
 			}
 			for i := 0; i < n; i++ {
@@ -124,7 +124,7 @@ func TestGroupCommitConflictSplitsEpochs(t *testing.T) {
 				}
 
 				eng := s.eng.(*remoteEngine)
-				if !eng.serveEpochFrom(0) {
+				if !eng.srv[0].serveEpochFrom(0) {
 					t.Fatal("first epoch made no progress")
 				}
 				if sl0.state.Load() != reqCommitted {
@@ -133,9 +133,9 @@ func TestGroupCommitConflictSplitsEpochs(t *testing.T) {
 				if sl1.state.Load() != reqPending {
 					t.Fatal("conflicting follower should have stayed pending")
 				}
-				if eng.commitSrv.Epochs != 1 || eng.commitSrv.Commits != 1 {
+				if eng.srv[0].commitSrv.Epochs != 1 || eng.srv[0].commitSrv.Commits != 1 {
 					t.Fatalf("after first epoch: Epochs=%d Commits=%d, want 1/1",
-						eng.commitSrv.Epochs, eng.commitSrv.Commits)
+						eng.srv[0].commitSrv.Epochs, eng.srv[0].commitSrv.Commits)
 				}
 
 				// A follower that read what the leader wrote is a real
@@ -148,7 +148,7 @@ func TestGroupCommitConflictSplitsEpochs(t *testing.T) {
 				}
 				if algo == RInvalV1 {
 					// The follower leads its own epoch once the scan returns.
-					if !eng.serveEpochFrom(0) {
+					if !eng.srv[0].serveEpochFrom(0) {
 						t.Fatal("second epoch made no progress")
 					}
 					if got := sl1.state.Load(); got != wantFollower {
@@ -158,14 +158,14 @@ func TestGroupCommitConflictSplitsEpochs(t *testing.T) {
 					if wantFollower == reqAborted {
 						wantEpochs = 1 // aborts do not burn a timestamp epoch
 					}
-					if eng.commitSrv.Epochs != wantEpochs {
-						t.Errorf("Epochs = %d, want %d", eng.commitSrv.Epochs, wantEpochs)
+					if eng.srv[0].commitSrv.Epochs != wantEpochs {
+						t.Errorf("Epochs = %d, want %d", eng.srv[0].commitSrv.Epochs, wantEpochs)
 					}
 				} else {
 					// V3 with no live invalidation-servers: invalTS lags the
 					// new timestamp, so the follower is deferred — the
 					// documented step-ahead behavior.
-					if eng.serveEpochFrom(0) {
+					if eng.srv[0].serveEpochFrom(0) {
 						t.Fatal("V3 should defer the follower while its server lags")
 					}
 					if sl1.state.Load() != reqPending {
@@ -174,11 +174,11 @@ func TestGroupCommitConflictSplitsEpochs(t *testing.T) {
 					// Run one invalidation-server step by hand; the follower's
 					// request is then served (committed, or aborted when the
 					// scan doomed it).
-					my := s.invalTS[0].Load()
-					d := s.ring[(my/2)%uint64(len(s.ring))].Load()
+					my := s.streams[0].invalTS[0].Load()
+					d := s.streams[0].ring[(my/2)%uint64(len(s.streams[0].ring))].Load()
 					s.invalidatePartition(0, d.members, d.bf, nil, nil)
-					s.invalTS[0].Store(my + 2)
-					if !eng.serveEpochFrom(0) {
+					s.streams[0].invalTS[0].Store(my + 2)
+					if !eng.srv[0].serveEpochFrom(0) {
 						t.Fatal("follower epoch made no progress after catch-up")
 					}
 					if got := sl1.state.Load(); got != wantFollower {

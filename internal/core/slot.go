@@ -38,6 +38,16 @@ const (
 // pointer store; the server treats it as read-only.
 type commitReq struct {
 	ws *writeSet
+	// writes/touched are shard bitmasks (bit j = stream j): the shards the
+	// write set lands in, and those plus every shard the transaction read
+	// from. A single-bit touched mask routes the request to that shard's
+	// commit-server; more bits make it a cross-shard request led by the
+	// lowest touched shard through the stream handshake. Both are 1<<0 when
+	// Shards == 1. They live here, not on the slot: commitReq is a per-commit
+	// heap value, so extending it cannot disturb the slot's cache-line
+	// layout.
+	writes  uint64
+	touched uint64
 }
 
 // slot is one entry of the cache-aligned requests array. Every hot field is

@@ -62,6 +62,10 @@ type Stats struct {
 	// executed. With group commit one epoch can retire a whole batch, so
 	// Epochs <= the server's Commits; the ratio is the batching win.
 	Epochs uint64
+	// CrossShardCommits counts commits retired through the two-phase stream
+	// handshake (Config.Shards > 1 only): requests whose touched-shard mask
+	// spanned more than one commit stream.
+	CrossShardCommits uint64
 	// BatchSizes is the distribution of group-commit batch sizes (one sample
 	// per epoch). Only the commit-server records into it.
 	BatchSizes histo.Histogram
@@ -128,6 +132,7 @@ func (s *Stats) Add(o Stats) {
 		atomic.AddUint64(&s.AbortReasons[i], o.AbortReasons[i])
 	}
 	atomic.AddUint64(&s.Epochs, o.Epochs)
+	atomic.AddUint64(&s.CrossShardCommits, o.CrossShardCommits)
 	s.BatchSizes.Merge(&o.BatchSizes)
 	s.Server.merge(&o.Server)
 }
@@ -150,7 +155,8 @@ func (s *Stats) snapshotAtomic() Stats {
 		ValidationOps: atomic.LoadUint64(&s.ValidationOps),
 		Invalidations: atomic.LoadUint64(&s.Invalidations),
 		SelfAborts:    atomic.LoadUint64(&s.SelfAborts),
-		Epochs:        atomic.LoadUint64(&s.Epochs),
+		Epochs:            atomic.LoadUint64(&s.Epochs),
+		CrossShardCommits: atomic.LoadUint64(&s.CrossShardCommits),
 	}
 	for i := range s.AbortReasons {
 		out.AbortReasons[i] = atomic.LoadUint64(&s.AbortReasons[i])

@@ -83,15 +83,59 @@ type commitDesc struct {
 	kd *killDesc
 }
 
-// System owns the shared state of one STM instance: the global timestamp,
-// the cache-aligned requests array, and — for the RInval engines — the
-// server goroutines. Create with New, dispose with Close.
+// commitStream is one shard's serialization point: its even/odd timestamp,
+// its in-flight descriptor ring, and the local timestamps of the
+// invalidation-servers assigned to it. With Config.Shards == 1 there is a
+// single stream and the layout reproduces the paper exactly; with more, each
+// stream orders only the commits that write its shard's Vars (DESIGN.md §11).
+type commitStream struct {
+	// ts is the stream's even/odd timestamp (sequence lock). Even: no commit
+	// write-back in progress. Odd: a committer is publishing its write set.
+	ts padded.Uint64
+
+	// owner is the stream lock, only used when Shards > 1: held (1) while a
+	// commit-server — the shard's own, or a cross-shard leader that acquired
+	// this stream during the two-phase handshake — drives an epoch here.
+	// Every ts transition happens under it, so a holder that observes ts
+	// even knows no epoch is in flight. Streams are always locked in
+	// ascending shard order, which makes the handshake deadlock-free.
+	owner padded.Uint32
+
+	// invalTS[k] is local invalidation-server k's timestamp for this stream
+	// (RInvalV2/V3). Always even; server k has processed every commit of
+	// this stream with base timestamp below invalTS[k] for its partition.
+	invalTS []padded.Uint64
+
+	// ring holds this stream's in-flight commit descriptors. Slot (base/2)
+	// mod len(ring); len(ring) = StepsAhead+1 bounds how many commits may be
+	// awaiting invalidation at once.
+	ring []padded.Pointer[commitDesc]
+
+	// Round the cold tail (two 24-byte slice headers) up to a whole cache
+	// line so []commitStream keeps every stream's spin lines exclusive.
+	_ [padded.CacheLineSize - (24+24)%padded.CacheLineSize]byte
+}
+
+// System owns the shared state of one STM instance: the commit streams
+// (one per shard; the global timestamp when Shards == 1), the cache-aligned
+// requests array, and — for the RInval engines — the server goroutines.
+// Create with New, dispose with Close.
 type System struct {
 	cfg Config
 
-	// ts is the global even/odd timestamp (sequence lock). Even: no commit
-	// write-back in progress. Odd: a committer is publishing its write set.
-	ts padded.Uint64
+	// streams[s] is shard s's commit stream. streams[0].ts doubles as the
+	// global timestamp for the single-stream engines (Mutex, NOrec,
+	// InvalSTM, TL2), which require Shards == 1.
+	streams []commitStream
+
+	// shardMask is Config.Shards-1 (Shards is a power of two): a Var with
+	// hash h belongs to shard h & shardMask. Zero when Shards == 1, so the
+	// single-stream fast path costs one masked load.
+	shardMask uint64
+
+	// nInvalPerShard is the invalidation-server count per stream
+	// (InvalServers/Shards); slot i's partition index is i % nInvalPerShard.
+	nInvalPerShard int
 
 	// slots is the cache-aligned requests array (Figure 5), one entry per
 	// registrable thread.
@@ -102,22 +146,13 @@ type System struct {
 	// contract). Unused when cfg.FlatScan walks every slot instead.
 	active activeSet
 
-	// partMask[k] masks active's words down to invalidation-server k's
-	// partition (slots with invalServer == k). Built once at construction.
+	// partMask[k] masks active's words down to invalidation partition k
+	// (slots with invalServer == k). Built once at construction; every
+	// stream's server k scans the same slot partition.
 	partMask []slotMask
 
 	// mu is the Mutex engine's global lock.
 	mu sync.Mutex
-
-	// invalTS[k] is invalidation-server k's local timestamp (RInvalV2/V3).
-	// Always even; server k has processed every commit with base timestamp
-	// below invalTS[k] for its partition.
-	invalTS []padded.Uint64
-
-	// ring holds in-flight commit descriptors for the invalidation-servers.
-	// Slot (base/2) mod len(ring); len(ring) = StepsAhead+1 bounds how many
-	// commits may be awaiting invalidation at once.
-	ring []padded.Pointer[commitDesc]
 
 	eng engine
 
@@ -178,24 +213,29 @@ func newSystem(cfg Config) (*System, error) {
 		live:       make(map[*Thread]struct{}),
 		yieldPerTx: runtime.GOMAXPROCS(0) < 4,
 	}
+	s.shardMask = uint64(cfg.Shards - 1)
+	s.nInvalPerShard = cfg.InvalServers / cfg.Shards
 	s.slots = make([]slot, cfg.MaxThreads)
 	s.active = newActiveSet(cfg.MaxThreads)
-	s.partMask = make([]slotMask, cfg.InvalServers)
+	s.partMask = make([]slotMask, s.nInvalPerShard)
 	for k := range s.partMask {
 		s.partMask[k] = newSlotMask(cfg.MaxThreads)
 	}
 	s.freeSlots = make([]int, 0, cfg.MaxThreads)
 	for i := range s.slots {
 		s.slots[i].readBF = bloom.NewAtomic(cfg.Bloom)
-		s.slots[i].invalServer = i % cfg.InvalServers
+		s.slots[i].invalServer = i % s.nInvalPerShard
 		s.slots[i].selfMask = newSlotMask(cfg.MaxThreads)
 		s.slots[i].selfMask.set(i)
-		s.partMask[i%cfg.InvalServers].set(i)
+		s.partMask[i%s.nInvalPerShard].set(i)
 		s.freeSlots = append(s.freeSlots, cfg.MaxThreads-1-i)
 	}
 
-	s.invalTS = make([]padded.Uint64, cfg.InvalServers)
-	s.ring = make([]padded.Pointer[commitDesc], cfg.StepsAhead+1)
+	s.streams = make([]commitStream, cfg.Shards)
+	for j := range s.streams {
+		s.streams[j].invalTS = make([]padded.Uint64, s.nInvalPerShard)
+		s.streams[j].ring = make([]padded.Pointer[commitDesc], cfg.StepsAhead+1)
+	}
 
 	if cfg.Trace {
 		// Client tracks first (track i == slot i); engine constructors
@@ -372,8 +412,64 @@ func (s *System) Stats() Stats {
 	return agg
 }
 
-// Timestamp returns the current global timestamp (for tests and diagnostics).
-func (s *System) Timestamp() uint64 { return s.ts.Load() }
+// Timestamp returns the current global timestamp — shard 0's stream when
+// sharding is on (for tests and diagnostics).
+func (s *System) Timestamp() uint64 { return s.streams[0].ts.Load() }
+
+// Shards returns the effective shard count.
+func (s *System) Shards() int { return len(s.streams) }
+
+// ShardServerStats returns one Stats per commit stream — shard j's
+// commit-server activity folded with its invalidation-servers', including
+// the per-shard phase histograms and cross-shard-commit count. Only the
+// RInval engines have shard servers; other engines return nil. Valid after
+// Close (server stats are read unsynchronized once the goroutines joined).
+func (s *System) ShardServerStats() []Stats {
+	re, ok := s.eng.(*remoteEngine)
+	if !ok {
+		return nil
+	}
+	out := make([]Stats, len(re.srv))
+	for j, sv := range re.srv {
+		st := sv.commitSrv
+		for k := range sv.invalSrv {
+			st.Add(sv.invalSrv[k])
+		}
+		out[j] = st
+	}
+	return out
+}
+
+// shardOf returns the index of the commit stream that owns v.
+//
+//stm:hotpath
+func (s *System) shardOf(v *Var) int { return int(v.shardH & s.shardMask) }
+
+// VarShard returns the index of the commit stream that owns v — which
+// commit-server serializes writes to it. Always 0 when Shards == 1. Exposed
+// so benchmarks and tests can construct shard-pinned (or deliberately
+// cross-shard) working sets.
+func (s *System) VarShard(v *Var) int { return s.shardOf(v) }
+
+// lockStream acquires shard j's stream lock, spinning until the current
+// holder releases it. Callers acquiring several streams must do so in
+// ascending shard order (the handshake's deadlock-freedom argument,
+// DESIGN.md §11). Only meaningful when Shards > 1 — with a single stream
+// the lone commit-server is the only epoch driver and never locks.
+//
+//stm:hotpath
+func (s *System) lockStream(j int) {
+	st := &s.streams[j]
+	var w spin.Waiter
+	for !st.owner.CompareAndSwap(0, 1) {
+		w.Wait()
+	}
+}
+
+// unlockStream releases shard j's stream lock.
+//
+//stm:hotpath
+func (s *System) unlockStream(j int) { s.streams[j].owner.Store(0) }
 
 // Tracer returns the lifecycle event tracer, or nil when Config.Trace is
 // off. Export methods (WriteChromeTrace, Summary) must only be called after
@@ -381,11 +477,13 @@ func (s *System) Timestamp() uint64 { return s.ts.Load() }
 // idle.
 func (s *System) Tracer() *obs.Tracer { return s.tracer }
 
-// waitEven spins until the global timestamp is even and returns it.
+// waitEven spins until the global timestamp (shard 0's stream; the
+// single-stream engines that call this require Shards == 1) is even and
+// returns it.
 func (s *System) waitEven() uint64 {
 	var w spin.Waiter
 	for {
-		t := s.ts.Load()
+		t := s.streams[0].ts.Load()
 		if t&1 == 0 {
 			return t
 		}
@@ -430,13 +528,15 @@ func (s *System) invalidateOthers(skip slotMask, bf *bloom.Filter, ring *obs.Rin
 	return doomed
 }
 
-// invalidatePartition is invalidateOthers restricted to invalidation-server
-// k's partition (the bitmap words masked by partMask[k]).
+// invalidatePartition is invalidateOthers restricted to invalidation
+// partition k (the bitmap words masked by partMask[k]). Every stream's
+// server k covers the same slot partition; concurrent scans from different
+// streams are safe because the doom CAS is epoch-guarded and idempotent.
 //stm:hotpath
 func (s *System) invalidatePartition(k int, skip slotMask, bf *bloom.Filter, ring *obs.Ring, kd *killDesc) uint64 {
 	var doomed uint64
 	if s.cfg.FlatScan {
-		for i := k; i < len(s.slots); i += s.cfg.InvalServers {
+		for i := k; i < len(s.slots); i += s.nInvalPerShard {
 			if skip.has(i) {
 				continue
 			}

@@ -110,6 +110,13 @@ type Tx struct {
 	stats    *Stats
 	direct   bool // Mutex engine: operate on Vars directly under the lock
 
+	// readShards accumulates the shard bits of every Var this attempt read
+	// (invalidation engines only; always bit 0 when Config.Shards == 1). The
+	// commit request's touched mask is writes ∪ readShards: a transaction
+	// that merely read another shard must still order against that stream,
+	// or two single-shard writers could commit a cross-shard write skew.
+	readShards uint64
+
 	// reason records why the current attempt is failing; every engine
 	// conflict path sets it before returning/panicking, and the abort
 	// bookkeeping charges the matching Stats.AbortReasons counter.
@@ -147,6 +154,7 @@ func (tx *Tx) begin() {
 	tx.attempts++
 	tx.rs.reset()
 	tx.ws.reset()
+	tx.readShards = 0
 	tx.reason = AbortInvalidated // engines overwrite at their abort sites
 	tx.traceT0 = tx.ring.Now()
 	tx.ring.InstantAt(obs.KBegin, tx.traceT0, uint64(tx.attempts))

@@ -59,8 +59,13 @@ type box struct {
 // must only ever be accessed through a single System at a time — the
 // consistency argument hinges on one global timestamp covering all accesses.
 type Var struct {
-	id  uint64
-	val atomic.Pointer[box]
+	id uint64
+	// shardH is a well-mixed hash of id, assigned at creation; a System
+	// masks it down to its shard count (Config.Shards) to pick the commit
+	// stream that owns this Var. Stored rather than recomputed so the read
+	// hot path pays one load instead of a hash.
+	shardH uint64
+	val    atomic.Pointer[box]
 	// verlock is the TL2 engine's versioned write-lock: bit 0 is the lock
 	// bit, the remaining bits hold the version (global-clock value of the
 	// last commit that wrote this Var). Unused by the coarse-grained
@@ -70,9 +75,19 @@ type Var struct {
 
 // NewVar returns a Var holding initial.
 func NewVar(initial any) *Var {
-	v := &Var{id: varID.Add(1)}
+	id := varID.Add(1)
+	v := &Var{id: id, shardH: splitmix64(id)}
 	v.val.Store(&box{v: initial})
 	return v
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-distributed mixer
+// that decorrelates the sequential Var ids before shard masking.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // ID returns the Var's bloom-hash identity. Exposed for tests and for the

@@ -75,7 +75,7 @@ type des struct {
 	writebacks   []interval // recent write-back windows (readers stall)
 	commitWaits  []interval // recent commit-wait windows (spinner count)
 	invalDoneAt  []uint64   // per invalidation-server completion time
-	serverFreeAt uint64     // commit-server availability (RInval)
+	shardFreeAt  []uint64   // per commit-stream server availability (RInval)
 }
 
 // Run executes one simulation.
@@ -89,6 +89,12 @@ func Run(p Params, w Workload, c Config) (Result, error) {
 	if c.InvalServers < 1 {
 		c.InvalServers = 1
 	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.InvalServers < c.Shards {
+		c.InvalServers = c.Shards // at least one invalidation-server per stream
+	}
 	d := &des{
 		p:           p,
 		w:           w,
@@ -96,14 +102,15 @@ func Run(p Params, w Workload, c Config) (Result, error) {
 		thr:         make([]thread, c.Threads),
 		rng:         c.Seed*0x9e3779b97f4a7c15 + 0xdeadbeef,
 		invalDoneAt: make([]uint64, c.InvalServers),
+		shardFreeAt: make([]uint64, c.Shards),
 	}
 	// Server engines dedicate cores; application threads share the rest.
 	appCores := c.Cores
 	switch c.Engine {
 	case RInvalV1:
-		appCores -= 1
+		appCores -= c.Shards
 	case RInvalV2, RInvalV3:
-		appCores -= 1 + c.InvalServers
+		appCores -= c.Shards + c.InvalServers
 	}
 	if appCores < 1 {
 		appCores = 1
@@ -503,25 +510,69 @@ func (d *des) commitRemote(now uint64, ti int) {
 		d.finishCommit(ti, now+d.p.CacheHit, false)
 		return
 	}
+	// Vars hash uniformly across the commit streams, so each single-shard
+	// request homes on one of Shards independent server pipelines; a
+	// cross-shard request touches a second stream and goes through the
+	// two-phase handshake (lock both streams in index order, drain, one
+	// combined epoch occupying both pipelines).
+	S := len(d.shardFreeAt)
+	home := 0
+	if S > 1 {
+		home = int(d.rand() % uint64(S))
+	}
+	cross := S > 1 && d.bernoulli(d.w.CrossShardFrac)
+	second := home
+	if cross {
+		second = (home + 1) % S
+	}
+
 	arrive := now + d.p.CacheMiss // request line transfer to the server
-	start := max(arrive, d.serverFreeAt)
+	start := max(arrive, d.shardFreeAt[home])
+	if cross {
+		// The leading server waits for every touched pipeline to go idle
+		// (stream locks acquire in index order) and pays one CAS per lock.
+		start = max(start, d.shardFreeAt[second]) + 2*d.p.CAS
+	}
 
 	status := d.p.CacheMiss // server reads the client's status line
 	wb := uint64(d.w.Writes) * d.p.CacheMiss
 	var commitDone uint64
 	switch d.c.Engine {
 	case RInvalV1:
+		// Every stream's server scans the full slot array (the invalidation
+		// scan is over in-flight transactions, not shard-local state); the
+		// win is that the S scans run on S dedicated cores in parallel.
 		scan := uint64(d.c.Threads) * d.p.ServerBFCheck
 		commitDone = start + status + scan + wb
 		d.writebacks = append(d.writebacks, interval{start + status + scan, commitDone})
-		d.serverFreeAt = commitDone
+		d.shardFreeAt[home] = commitDone
+		if cross {
+			d.shardFreeAt[second] = commitDone
+		}
 		for k := range d.invalDoneAt {
 			d.invalDoneAt[k] = commitDone
 		}
 	case RInvalV2, RInvalV3:
-		k := d.c.InvalServers
-		part := (d.c.Threads + k - 1) / k
+		// InvalServers is the total across streams: each stream owns
+		// InvalServers/Shards of them, and each scans its slot partition.
+		perShard := d.c.InvalServers / S
+		if perShard < 1 {
+			perShard = 1
+		}
+		part := (d.c.Threads + perShard - 1) / perShard
 		scan := d.p.CacheMiss + uint64(part)*d.p.ServerBFCheck // fetch signature + scan partition
+		if cross {
+			// The handshake drains every touched stream's invalidation
+			// horizon before the ALIVE check (ring slots must be consumed).
+			for _, idone := range d.invalDoneAt {
+				if idone > start {
+					start = idone
+				}
+			}
+			// Publishing the combined descriptor into the second stream's
+			// ring costs one extra line transfer.
+			status += d.p.CacheMiss
+		}
 		commitDone = start + status + wb
 		invalDone := start + status + scan
 		// One server may be stalled by OS noise (paging, interrupts).
@@ -536,21 +587,27 @@ func (d *des) commitRemote(now uint64, ti int) {
 		if lagged > 0 {
 			d.invalDoneAt[0] = lagged
 		}
+		var freeAt uint64
 		if d.c.Engine == RInvalV2 {
 			// Next commit waits for both write-back and all invalidators,
 			// including a lagged one (Algorithm 3 line 7).
-			d.serverFreeAt = max(commitDone, invalDone, lagged)
+			freeAt = max(commitDone, invalDone, lagged)
 		} else {
 			// V3: the server runs ahead of slow invalidators as long as no
 			// server trails by more than StepsAhead commits (Algorithm 4
 			// line 5). A lag longer than the window still blocks, pro-rated
 			// by the window size.
 			window := uint64(d.c.StepsAhead) * (status + wb)
-			blockAt := commitDone
+			freeAt = commitDone
 			if lagged > commitDone+window {
-				blockAt = lagged - window
+				freeAt = lagged - window
 			}
-			d.serverFreeAt = blockAt
+		}
+		d.shardFreeAt[home] = freeAt
+		if cross {
+			// A handshake epoch holds the second stream locked until the
+			// combined write-back completes.
+			d.shardFreeAt[second] = max(d.shardFreeAt[second], commitDone)
 		}
 	}
 	reply := commitDone + d.p.CacheMiss // reply line transfer back

@@ -150,17 +150,30 @@ type Workload struct {
 	// PFalseBloom is the additional false-conflict probability the
 	// invalidation engines pay for signature imprecision.
 	PFalseBloom float64
+	// CrossShardFrac is the fraction of update transactions whose footprint
+	// spans two commit streams (Config.Shards > 1 only): those commits go
+	// through the cross-shard handshake instead of a single stream's
+	// pipeline. Irrelevant at Shards == 1.
+	CrossShardFrac float64
 }
 
 // Config selects engine, scale, and duration.
 type Config struct {
 	Engine       Engine
 	Threads      int
-	InvalServers int    // RInvalV2/V3
-	StepsAhead   int    // RInvalV3
-	Cores        int    // physical cores; threads beyond cores timeshare
-	Duration     uint64 // simulated cycles
-	Seed         uint64
+	InvalServers int // RInvalV2/V3: total across all shards (split evenly)
+	StepsAhead   int // RInvalV3
+	// Shards is the number of independent commit streams (RInval engines
+	// only; mirrors core.Config.Shards). Each stream has its own dedicated
+	// commit-server pipeline; Vars hash uniformly across streams, so with
+	// disjoint keys the serialization bottleneck divides by Shards. Commits
+	// whose footprint spans streams pay the two-phase handshake: they wait
+	// for every touched pipeline and occupy all of them for the epoch.
+	// 0 means 1 (the paper's single global stream).
+	Shards     int
+	Cores      int    // physical cores; threads beyond cores timeshare
+	Duration   uint64 // simulated cycles
+	Seed       uint64
 }
 
 // DefaultConfig returns the paper-scale machine: 64 cores, 4 invalidation
@@ -171,6 +184,7 @@ func DefaultConfig(e Engine, threads int) Config {
 		Threads:      threads,
 		InvalServers: 4,
 		StepsAhead:   2,
+		Shards:       1,
 		Cores:        64,
 		Duration:     50_000_000,
 		Seed:         1,

@@ -172,6 +172,22 @@ func (s *System) ConflictReport() ConflictReport { return s.sys.ConflictReport()
 // Config returns the effective configuration.
 func (s *System) Config() Config { return s.sys.Config() }
 
+// Shards returns the effective commit-stream count (Config.Shards after
+// validation; 1 unless sharding was requested).
+func (s *System) Shards() int { return s.sys.Shards() }
+
+// ShardServerStats returns one Stats per commit stream — shard j's
+// commit-server counters folded with its invalidation-servers', including
+// per-shard phase histograms and the cross-shard-commit count. Nil for
+// engines without shard servers (everything but RInval). Call after Close.
+func (s *System) ShardServerStats() []Stats { return s.sys.ShardServerStats() }
+
+// ShardOf returns the index of the commit stream that owns v under s —
+// which commit-server serializes writes to it (always 0 when Shards == 1).
+// A package-level function rather than a Var method because methods cannot
+// introduce type parameters.
+func ShardOf[T any](s *System, v *Var[T]) int { return s.sys.VarShard(v.v) }
+
 // Thread is a registered participant: one entry of the cache-aligned
 // requests array. Use from a single goroutine at a time.
 type Thread struct {
