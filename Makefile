@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet lint race bench-groupcommit bench-scan bench-conflict bench-shard
+.PHONY: verify build test vet lint race bench-groupcommit bench-scan bench-conflict bench-shard bench-latency
 
 ## verify: the full pre-merge gate — vet, the invariant linter, build, tests,
 ## and the race detector over the packages with real concurrency.
@@ -44,3 +44,10 @@ bench-conflict:
 ## checked-in report uses -iters 400; this target is sized for a CI smoke run.
 bench-shard:
 	$(GO) run ./cmd/rinval-bench -exp shardsweep -iters 100
+
+## bench-latency: short-mode critical-path latency decomposition sweep
+## (phase p50/p99 per engine x threads x shards) into
+## results/BENCH_latency_slo.json. The checked-in report uses -iters 2000;
+## this target is sized for a CI smoke run.
+bench-latency:
+	$(GO) run ./cmd/rinval-bench -exp latencyslo -mode live -iters 300

@@ -15,6 +15,7 @@
 //	rinval-bench -exp ablReadSet       # ablation: validation vs read-set size
 //	rinval-bench -exp ablTL2           # ablation: coarse family vs TL2
 //	rinval-bench -exp latency -mode live  # per-transaction latency percentiles
+//	rinval-bench -exp latencyslo -mode live -out results/BENCH_latency_slo.json
 //	rinval-bench -exp groupcommit -mode live -out results/BENCH_group_commit.json
 //	rinval-bench -exp invalscan -mode live -out results/BENCH_inval_scan.json
 //	rinval-bench -exp conflict -mode live -out results/BENCH_conflict_attr.json
@@ -56,6 +57,7 @@ var validExps = []expDesc{
 	{"ablReadSet", "ablation: validation vs read-set size"},
 	{"ablTL2", "ablation: coarse family vs TL2 (sim only)"},
 	{"latency", "per-transaction latency percentiles (live only)"},
+	{"latencyslo", "critical-path latency decomposition: phase p50/p99 per engine x threads x shards (live only)"},
 	{"groupcommit", "group-commit batching sweep (live only)"},
 	{"invalscan", "invalidation-scan sweep: flat vs two-level (live only)"},
 	{"conflict", "conflict attribution: FP rate, hot-var skew, wasted work (live only)"},
@@ -134,6 +136,12 @@ func main() {
 	}
 	if *exp == "conflict" {
 		if err := runConflict(*mode, *out, *iters, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *exp == "latencyslo" {
+		if err := runLatencySLO(*mode, *out, *iters, *seed); err != nil {
 			fatal(err)
 		}
 		return
@@ -365,6 +373,38 @@ func runConflict(mode, out string, iters int, seed uint64) error {
 		out = "results/BENCH_conflict_attr.json"
 	}
 	rep, err := bench.RunConflict(bench.ConflictOpts{
+		Iters: iters,
+		Seed:  seed,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Format(os.Stdout)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runLatencySLO sweeps the sampled critical-path latency decomposition
+// across engines, thread counts, and shard counts, and writes the JSON
+// report consumed by the acceptance checks: the per-phase p99s an SLO would
+// be written against, with the commit path decomposed on both the client
+// side (app/retry/commit-wait) and the server side (collect through reply).
+func runLatencySLO(mode, out string, iters int, seed uint64) error {
+	if mode != "live" {
+		return fmt.Errorf("latencyslo is live-only (it measures the real instrumented hot path)")
+	}
+	if out == "" {
+		out = "results/BENCH_latency_slo.json"
+	}
+	rep, err := bench.RunLatencySLO(bench.LatencySLOOpts{
 		Iters: iters,
 		Seed:  seed,
 	})

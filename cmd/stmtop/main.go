@@ -10,13 +10,17 @@
 //	stmtop -addr localhost:8080              # refresh every second
 //	stmtop -addr localhost:8080 -interval 250ms
 //	stmtop -addr localhost:8080 -once        # one snapshot, no screen control
+//	stmtop -addr localhost:8080 -json        # one machine-readable snapshot
+//	stmtop -addr localhost:8080 -width 60    # clip panels for a narrow terminal
 //
-// The data source is /debug/vars: the "stm" var carries the base counters and
-// "stm_conflict" the ConflictReport snapshot (both are published by the
-// benchmark harness; attribution detail needs Config.Attribution on).
+// The data source is /debug/vars: the "stm" var carries the base counters,
+// "stm_conflict" the ConflictReport snapshot, and "stm_latency" the sampled
+// critical-path decomposition (all published by the benchmark harness;
+// attribution detail needs Config.Attribution, latency Config.Latency).
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	"github.com/ssrg-vt/rinval/internal/obs"
@@ -34,11 +39,14 @@ func main() {
 		addr     = flag.String("addr", "localhost:8080", "host:port of the -metrics endpoint to poll")
 		interval = flag.Duration("interval", time.Second, "poll period")
 		once     = flag.Bool("once", false, "render a single snapshot and exit (no screen clearing)")
+		jsonOut  = flag.Bool("json", false, "emit one snapshot as JSON and exit (implies -once)")
 		topK     = flag.Int("k", 8, "rows in the hot-var and matrix tables")
+		width    = flag.Int("width", 0, "clip panel lines to this many columns (0: $COLUMNS, else no clipping)")
 	)
 	flag.Parse()
 
 	url := "http://" + *addr + "/debug/vars"
+	cols := termWidth(*width)
 	var prev *snapshot
 	for {
 		cur, err := fetch(url)
@@ -46,10 +54,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "stmtop: %v\n", err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			if err := writeJSON(os.Stdout, cur); err != nil {
+				fmt.Fprintf(os.Stderr, "stmtop: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if !*once {
 			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
 		}
-		render(os.Stdout, prev, cur, *topK)
+		renderClipped(os.Stdout, prev, cur, *topK, cols)
 		if *once {
 			return
 		}
@@ -58,11 +73,66 @@ func main() {
 	}
 }
 
-// snapshot is one poll of /debug/vars, reduced to the two STM vars.
+// termWidth resolves the clipping width: an explicit -width wins, otherwise
+// $COLUMNS (the shell convention; stmtop avoids cgo/ioctl for portability),
+// otherwise 0 — no clipping.
+func termWidth(flagWidth int) int {
+	if flagWidth > 0 {
+		return flagWidth
+	}
+	if c, err := strconv.Atoi(os.Getenv("COLUMNS")); err == nil && c > 0 {
+		return c
+	}
+	return 0
+}
+
+// renderClipped renders the dashboard and clips every line to cols columns,
+// so fixed-width panels degrade on narrow terminals instead of wrapping into
+// an unreadable mess. cols <= 0 disables clipping.
+func renderClipped(w io.Writer, prev, cur *snapshot, k, cols int) {
+	if cols <= 0 {
+		render(w, prev, cur, k)
+		return
+	}
+	var buf bytes.Buffer
+	render(&buf, prev, cur, k)
+	for _, line := range bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n")) {
+		r := []rune(string(line))
+		if len(r) > cols {
+			r = r[:cols]
+		}
+		fmt.Fprintln(w, string(r))
+	}
+}
+
+// jsonSnapshot is the -json output shape: the three published vars under
+// stable keys, plus the poll timestamp.
+type jsonSnapshot struct {
+	At       time.Time           `json:"at"`
+	STM      *stmVars            `json:"stm,omitempty"`
+	Conflict *obs.ConflictReport `json:"conflict,omitempty"`
+	Latency  *obs.LatencyReport  `json:"latency,omitempty"`
+}
+
+// writeJSON emits one machine-readable snapshot.
+func writeJSON(w io.Writer, cur *snapshot) error {
+	out := jsonSnapshot{At: cur.at}
+	if cur.hasSTM {
+		out.STM = &cur.stm
+		out.Conflict = &cur.conflict
+		out.Latency = &cur.latency
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// snapshot is one poll of /debug/vars, reduced to the three STM vars.
 type snapshot struct {
 	at       time.Time
 	stm      stmVars
 	conflict obs.ConflictReport
+	latency  obs.LatencyReport
 	hasSTM   bool
 }
 
@@ -105,6 +175,11 @@ func decode(r io.Reader) (*snapshot, error) {
 	if raw, ok := vars["stm_conflict"]; ok && string(raw) != "null" {
 		if err := json.Unmarshal(raw, &s.conflict); err != nil {
 			return nil, fmt.Errorf("parsing stm_conflict var: %w", err)
+		}
+	}
+	if raw, ok := vars["stm_latency"]; ok && string(raw) != "null" {
+		if err := json.Unmarshal(raw, &s.latency); err != nil {
+			return nil, fmt.Errorf("parsing stm_latency var: %w", err)
 		}
 	}
 	return s, nil
@@ -151,6 +226,13 @@ func render(w io.Writer, prev, cur *snapshot, k int) {
 		fmt.Fprintln(w)
 	}
 
+	if lr := cur.latency; lr.Enabled {
+		fmt.Fprintf(w, "\nlatency (1-in-%d sampled, %d sampled commits)\n", lr.SampleEvery, lr.SampledCommits)
+		fmt.Fprintf(w, "  %-6s %-12s %10s %10s %10s %10s\n", "", "phase", "count", "p50", "p99", "max")
+		renderPhases(w, "client", lr.Client)
+		renderPhases(w, "server", lr.Server)
+	}
+
 	cr := cur.conflict
 	if !cr.Enabled {
 		fmt.Fprintln(w, "\nattribution off (run with Config.Attribution / the conflict experiment for the full view)")
@@ -195,6 +277,31 @@ func render(w io.Writer, prev, cur *snapshot, k int) {
 			fmt.Fprintf(w, "  %-12s %12s  %8d ops\n", r,
 				time.Duration(cr.WastedNs[r]).Round(time.Microsecond), cr.WastedOps[r])
 		}
+	}
+}
+
+// renderPhases prints one side (client or server) of the latency panel,
+// labelling only the first row of the group.
+func renderPhases(w io.Writer, side string, phases []obs.LatencyPhase) {
+	for i, ph := range phases {
+		label := ""
+		if i == 0 {
+			label = side
+		}
+		fmt.Fprintf(w, "  %-6s %-12s %10d %10s %10s %10s\n",
+			label, ph.Phase, ph.Count, fmtLatNs(ph.P50), fmtLatNs(ph.P99), fmtLatNs(ph.MaxNs))
+	}
+}
+
+// fmtLatNs renders a nanosecond figure compactly (ns/µs/ms).
+func fmtLatNs(ns uint64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
 	}
 }
 

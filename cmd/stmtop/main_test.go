@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -33,6 +34,18 @@ const cannedVars = `{
     "hot_var_samples": 100,
     "wasted_ns": {"invalidated": 120000, "validation": 0, "self": 100, "locked": 200, "explicit": 0},
     "wasted_ops": {"invalidated": 900, "validation": 0, "self": 3, "locked": 6, "explicit": 0}
+  },
+  "stm_latency": {
+    "enabled": true,
+    "sample_every": 64,
+    "sampled_commits": 50,
+    "client": [
+      {"phase": "app", "count": 50, "p50_ns": 210, "p99_ns": 900, "max_ns": 1200},
+      {"phase": "total", "count": 50, "p50_ns": 800, "p99_ns": 2500000, "max_ns": 4000000}
+    ],
+    "server": [
+      {"phase": "collect", "count": 30, "p50_ns": 1100, "p99_ns": 5200, "max_ns": 9000}
+    ]
   }
 }`
 
@@ -44,6 +57,9 @@ func TestDecodeAndRender(t *testing.T) {
 	if !cur.hasSTM || cur.stm.Algo != "rinval-v2" || cur.conflict.InvalidationAborts != 700 {
 		t.Fatalf("decode: %+v", cur)
 	}
+	if !cur.latency.Enabled || cur.latency.SampledCommits != 50 {
+		t.Fatalf("decode latency: %+v", cur.latency)
+	}
 	prev := &snapshot{at: cur.at.Add(-time.Second), hasSTM: true}
 	prev.stm.Commits, prev.stm.Aborts = 3000, 700
 
@@ -52,15 +68,22 @@ func TestDecodeAndRender(t *testing.T) {
 	out := b.String()
 	for _, want := range []string{
 		"rinval-v2",
-		"abort-rate  20.0%",          // 800 / 4000
-		"commits/s",                  // delta line rendered
-		"invalidation aborts 700",    // attribution section
-		"bloom FP rate 0.0700",       // FPStats
+		"abort-rate  20.0%",              // 800 / 4000
+		"commits/s",                      // delta line rendered
+		"invalidation aborts 700",        // attribution section
+		"bloom FP rate 0.0700",           // FPStats
 		"slot   1 -> slot   0       600", // top matrix cell
 		"slot   ? -> slot   0        95", // unknown committer row
-		"hot-0",                      // named hot var
-		"50.00%",                     // its share
-		"invalidated",                // wasted-work row
+		"hot-0",                          // named hot var
+		"50.00%",                         // its share
+		"invalidated",                    // wasted-work row
+		"latency (1-in-64 sampled, 50 sampled commits)",
+		"client", // phase-group label
+		"app",    // client phase row
+		"2.5ms",  // total p99, ms formatting
+		"server",
+		"collect", // server phase row
+		"5.2µs",   // its p99, µs formatting
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render output missing %q:\n%s", want, out)
@@ -115,6 +138,85 @@ func TestFetchAgainstHTTPServer(t *testing.T) {
 	}
 }
 
+// TestRenderClipped checks the narrow-terminal path: every rendered line is
+// cut to the column budget (by runes, so the µs sign doesn't split), and a
+// non-positive width leaves the output untouched.
+func TestRenderClipped(t *testing.T) {
+	cur, err := decode(strings.NewReader(cannedVars))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clipped strings.Builder
+	renderClipped(&clipped, nil, cur, 8, 40)
+	for i, line := range strings.Split(strings.TrimRight(clipped.String(), "\n"), "\n") {
+		if n := len([]rune(line)); n > 40 {
+			t.Errorf("line %d is %d runes wide: %q", i, n, line)
+		}
+	}
+	if !strings.Contains(clipped.String(), "latency (1-in-64 sampled") {
+		t.Errorf("clipped render lost the latency panel:\n%s", clipped.String())
+	}
+
+	var full, unclipped strings.Builder
+	render(&full, nil, cur, 8)
+	renderClipped(&unclipped, nil, cur, 8, 0)
+	if full.String() != unclipped.String() {
+		t.Error("cols <= 0 should render unclipped")
+	}
+}
+
+func TestTermWidth(t *testing.T) {
+	if got := termWidth(72); got != 72 {
+		t.Errorf("explicit width: got %d", got)
+	}
+	t.Setenv("COLUMNS", "61")
+	if got := termWidth(0); got != 61 {
+		t.Errorf("$COLUMNS width: got %d", got)
+	}
+	t.Setenv("COLUMNS", "not-a-number")
+	if got := termWidth(0); got != 0 {
+		t.Errorf("bad $COLUMNS should disable clipping: got %d", got)
+	}
+}
+
+// TestWriteJSON checks the -json one-shot shape: the three vars under stable
+// keys when a system is running, and only the timestamp when idle.
+func TestWriteJSON(t *testing.T) {
+	cur, err := decode(strings.NewReader(cannedVars))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := writeJSON(&b, cur); err != nil {
+		t.Fatal(err)
+	}
+	var got jsonSnapshot
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if got.STM == nil || got.STM.Commits != 3200 {
+		t.Errorf("stm section: %+v", got.STM)
+	}
+	if got.Conflict == nil || !got.Conflict.Enabled {
+		t.Errorf("conflict section: %+v", got.Conflict)
+	}
+	if got.Latency == nil || got.Latency.SampledCommits != 50 {
+		t.Errorf("latency section: %+v", got.Latency)
+	}
+
+	idle, err := decode(strings.NewReader(`{"stm": null}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := writeJSON(&b, idle); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `"stm"`) {
+		t.Errorf("idle JSON should omit the stm section: %s", b.String())
+	}
+}
+
 // TestLiveEndToEnd drives the real pipeline: obs.ServeMetrics serving the
 // vars a live attribution-enabled report feeds, polled by fetch and rendered.
 func TestLiveEndToEnd(t *testing.T) {
@@ -127,7 +229,7 @@ func TestLiveEndToEnd(t *testing.T) {
 	obs.Publish("stm", func() any {
 		return map[string]any{"algo": "invalstm", "commits": 42, "aborts": 3}
 	})
-	obs.PublishOpenMetrics(func() obs.ConflictReport { return rep })
+	obs.PublishOpenMetrics(func() obs.MetricsPage { return obs.MetricsPage{Conflict: rep} })
 	obs.Publish("stm_conflict", func() any { return rep })
 	addr, shutdown, err := obs.ServeMetrics("127.0.0.1:0")
 	if err != nil {

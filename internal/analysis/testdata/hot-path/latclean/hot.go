@@ -1,0 +1,49 @@
+// The sanctioned latency-decomposition shape: a nil-receiver no-op cell,
+// clock reads through the package's indirection variable, phase durations
+// recorded into a fixed array indexed by an integer phase — no maps, no
+// formatting, no locks anywhere near the sampled path.
+package hot
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+var nanotime func() int64 = func() int64 { return time.Now().UnixNano() }
+
+type cell struct {
+	seq    uint64
+	phases [4]uint64
+}
+
+// Sample is the 1-in-N gate; a nil cell means latency is off.
+//
+//stm:hotpath
+func (c *cell) Sample() bool {
+	if c == nil {
+		return false
+	}
+	c.seq++
+	return c.seq%64 == 0
+}
+
+// Record lands one phase duration; nil-safe so call sites need no branch.
+//
+//stm:hotpath
+func (c *cell) Record(phase int, ns int64) {
+	if c == nil || ns < 0 {
+		return
+	}
+	atomic.AddUint64(&c.phases[phase], uint64(ns))
+}
+
+// commit is the instrumented fast path: the clock is read only when the
+// sample gate fired, and only through the nanotime indirection.
+//
+//stm:hotpath
+func commit(c *cell, on bool, t0 int64) {
+	if on {
+		now := nanotime()
+		c.Record(0, now-t0)
+	}
+}

@@ -1,0 +1,14 @@
+// A latency probe that builds string-keyed phase rows inline: the map
+// allocation and the fmt call both belong in the report path, not on the
+// sampled commit path.
+package hot
+
+import "fmt"
+
+var sink map[string]int64
+
+//stm:hotpath
+func record(phase int, ns int64) {
+	row := map[string]int64{"ns": ns}                // want hot-path
+	sink[fmt.Sprintf("phase-%d", phase)] = row["ns"] // want hot-path
+}

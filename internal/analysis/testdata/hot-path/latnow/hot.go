@@ -1,0 +1,20 @@
+// A latency probe that reads the clock directly: the vdso call lands on
+// every transaction, sampled or not, which is exactly the overhead the
+// gated-clock idiom exists to avoid.
+package hot
+
+import "time"
+
+type cell struct {
+	phases [4]int64
+}
+
+//stm:hotpath
+func commit(c *cell, t0 time.Time) {
+	c.phases[0] += time.Since(t0).Nanoseconds() // want hot-path
+}
+
+//stm:hotpath
+func begin() time.Time {
+	return time.Now() // want hot-path
+}

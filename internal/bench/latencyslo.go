@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// LatencySLOOpts parameterizes the critical-path latency sweep: for every
+// (engine, thread count, shard count) point a contended read-modify-write
+// workload runs with Config.Latency on, and the point records the sampled
+// phase decomposition — where a transaction's time goes (app work, retry,
+// commit-wait) and where the commit-server's epoch time goes. This is the
+// observability counterpart of the throughput sweeps: the numbers an SLO
+// would be written against.
+type LatencySLOOpts struct {
+	Threads     []int // client thread counts (default 2,4,8)
+	Shards      []int // shard counts; >1 applies to RInval engines only (default 1,4)
+	Iters       int   // committed transactions per client
+	SampleEvery int   // latency sampling period (default 8)
+	Seed        uint64
+}
+
+// PhaseQuantiles is one phase's latency quantiles at one sweep point.
+type PhaseQuantiles struct {
+	Phase string `json:"phase"`
+	Count uint64 `json:"count"`
+	P50Ns uint64 `json:"p50_ns"`
+	P99Ns uint64 `json:"p99_ns"`
+	MaxNs uint64 `json:"max_ns"`
+}
+
+// LatencySLOPoint is one (engine, threads, shards) measurement.
+type LatencySLOPoint struct {
+	Algo       string           `json:"algo"`
+	Threads    int              `json:"threads"`
+	Shards     int              `json:"shards"`
+	DurationNs int64            `json:"duration_ns"`
+	Commits    uint64           `json:"commits"`
+	Sampled    uint64           `json:"sampled_commits"`
+	KTxPerSec  float64          `json:"ktx_per_sec"`
+	Client     []PhaseQuantiles `json:"client"`
+	Server     []PhaseQuantiles `json:"server,omitempty"`
+}
+
+// LatencySLOReport is the full sweep, serialized to BENCH_latency_slo.json.
+type LatencySLOReport struct {
+	Workload    string            `json:"workload"`
+	Iters       int               `json:"iters_per_client"`
+	SampleEvery int               `json:"sample_every"`
+	Points      []LatencySLOPoint `json:"points"`
+}
+
+// latencySLOAlgos are the engines the sweep covers: the validation baseline
+// plus the three remote-invalidation variants whose server phases the
+// decomposition exists to expose.
+var latencySLOAlgos = []stm.Algo{stm.NOrec, stm.RInvalV1, stm.RInvalV2, stm.RInvalV3}
+
+// RunLatencySLO executes the sweep. Shard counts above 1 run only on the
+// RInval engines (sharding requires a remote engine); every point reuses the
+// same seeded workload so engines are compared on identical access patterns.
+func RunLatencySLO(o LatencySLOOpts) (*LatencySLOReport, error) {
+	if o.Iters < 1 {
+		return nil, fmt.Errorf("bench: latencyslo iters must be >= 1")
+	}
+	if len(o.Threads) == 0 {
+		o.Threads = []int{2, 4, 8}
+	}
+	if len(o.Shards) == 0 {
+		o.Shards = []int{1, 4}
+	}
+	if o.SampleEvery == 0 {
+		o.SampleEvery = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	rep := &LatencySLOReport{
+		Workload:    "read-modify-write on a shared pool (8 vars per thread), 25% read-only",
+		Iters:       o.Iters,
+		SampleEvery: o.SampleEvery,
+	}
+	for _, algo := range latencySLOAlgos {
+		remote := algo == stm.RInvalV1 || algo == stm.RInvalV2 || algo == stm.RInvalV3
+		for _, th := range o.Threads {
+			for _, sh := range o.Shards {
+				if sh > 1 && (!remote || sh > th) {
+					continue
+				}
+				p, err := runLatencySLOPoint(algo, th, sh, o)
+				if err != nil {
+					return nil, err
+				}
+				rep.Points = append(rep.Points, p)
+			}
+		}
+	}
+	return rep, nil
+}
+
+func runLatencySLOPoint(algo stm.Algo, threads, shards int, o LatencySLOOpts) (LatencySLOPoint, error) {
+	// Default InvalServers (4) can exceed a small thread count; size it to
+	// the point, keeping it a multiple of the shard count as sharding
+	// requires.
+	inv := threads
+	if inv > 4 {
+		inv = 4
+	}
+	if shards > 1 {
+		inv = (inv / shards) * shards
+		if inv < shards {
+			inv = shards
+		}
+	}
+	sys, err := stm.New(stm.Config{
+		Algo:               algo,
+		MaxThreads:         threads,
+		Shards:             shards,
+		InvalServers:       inv,
+		Latency:            true,
+		LatencySampleEvery: o.SampleEvery,
+	})
+	if err != nil {
+		return LatencySLOPoint{}, err
+	}
+	liveSys.Store(sys) // -metrics serves this point's expvar view (stmtop's latency panel)
+	pool := make([]*stm.Var[int], threads*8)
+	for i := range pool {
+		pool[i] = stm.NewVar(0)
+	}
+	ths := make([]*stm.Thread, threads)
+	for i := range ths {
+		if ths[i], err = sys.Register(); err != nil {
+			sys.Close()
+			return LatencySLOPoint{}, err
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, threads)
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(o.Seed) + int64(w)))
+			for i := 0; i < o.Iters; i++ {
+				readOnly := rng.Intn(4) == 0
+				a, b := pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]
+				errs[w] = ths[w].Atomically(func(tx *stm.Tx) error {
+					x := a.Load(tx)
+					if !readOnly {
+						b.Store(tx, x+1)
+					}
+					return nil
+				})
+				if errs[w] != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	lat := sys.LatencyReport()
+	for i := range ths {
+		ths[i].Close()
+	}
+	st := sys.Stats()
+	liveSys.CompareAndSwap(sys, nil)
+	if err := sys.Close(); err != nil {
+		return LatencySLOPoint{}, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return LatencySLOPoint{}, e
+		}
+	}
+	p := LatencySLOPoint{
+		Algo:       algo.String(),
+		Threads:    threads,
+		Shards:     sys.Shards(),
+		DurationNs: elapsed.Nanoseconds(),
+		Commits:    st.Commits,
+		Sampled:    lat.SampledCommits,
+		KTxPerSec:  float64(st.Commits) / elapsed.Seconds() / 1e3,
+		Client:     phaseQuantiles(lat.Client),
+		Server:     phaseQuantiles(lat.Server),
+	}
+	return p, nil
+}
+
+func phaseQuantiles(phases []stm.LatencyPhase) []PhaseQuantiles {
+	out := make([]PhaseQuantiles, 0, len(phases))
+	for _, ph := range phases {
+		out = append(out, PhaseQuantiles{
+			Phase: ph.Phase,
+			Count: ph.Count,
+			P50Ns: ph.P50,
+			P99Ns: ph.P99,
+			MaxNs: ph.MaxNs,
+		})
+	}
+	return out
+}
+
+// WriteJSON serializes the report.
+func (r *LatencySLOReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// Format renders the sweep as an aligned table: one row per point, client
+// phase p99s spelled out, the dominant server phase summarized.
+func (r *LatencySLOReport) Format(w io.Writer) {
+	fmt.Fprintf(w, "latency SLO sweep: %s (%d iters/client, 1-in-%d sampling)\n",
+		r.Workload, r.Iters, r.SampleEvery)
+	tw := tabwriter.NewWriter(w, 2, 2, 2, ' ', 0)
+	fmt.Fprintln(tw, "algo\tthreads\tshards\tktx/s\tsampled\ttotal p99\tapp p99\tretry p99\tcommit-wait p99\ttop server phase")
+	for _, p := range r.Points {
+		row := map[string]uint64{}
+		for _, c := range p.Client {
+			row[c.Phase] = c.P99Ns
+		}
+		top := "-"
+		var topNs uint64
+		for _, s := range p.Server {
+			if s.P99Ns >= topNs {
+				top, topNs = fmt.Sprintf("%s %s", s.Phase, fmtNs(s.P99Ns)), s.P99Ns
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			p.Algo, p.Threads, p.Shards, p.KTxPerSec, p.Sampled,
+			fmtNs(row["total"]), fmtNs(row["app"]), fmtNs(row["retry"]),
+			fmtNs(row["commit-wait"]), top)
+	}
+	tw.Flush()
+}
+
+// fmtNs renders a nanosecond figure compactly (ns/µs/ms).
+func fmtNs(ns uint64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+func TestRunLatencySLOSmoke(t *testing.T) {
+	rep, err := RunLatencySLO(LatencySLOOpts{
+		Threads:     []int{2},
+		Shards:      []int{1},
+		Iters:       300,
+		SampleEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != len(latencySLOAlgos) {
+		t.Fatalf("got %d points, want %d", len(rep.Points), len(latencySLOAlgos))
+	}
+	for _, p := range rep.Points {
+		if p.Commits != 2*300 {
+			t.Errorf("%s: commits %d, want 600", p.Algo, p.Commits)
+		}
+		if p.Sampled == 0 {
+			t.Errorf("%s: no sampled commits", p.Algo)
+		}
+		byPhase := map[string]PhaseQuantiles{}
+		for _, c := range p.Client {
+			byPhase[c.Phase] = c
+			if c.Count != p.Sampled {
+				t.Errorf("%s: phase %s count %d != sampled %d", p.Algo, c.Phase, c.Count, p.Sampled)
+			}
+		}
+		total, ok := byPhase["total"]
+		if !ok || total.P99Ns == 0 {
+			t.Errorf("%s: total phase missing or empty: %+v", p.Algo, total)
+		}
+		if app := byPhase["app"]; app.P99Ns > total.MaxNs {
+			t.Errorf("%s: app p99 %d above total max %d", p.Algo, app.P99Ns, total.MaxNs)
+		}
+		if strings.HasPrefix(p.Algo, "rinval") && len(p.Server) == 0 {
+			t.Errorf("%s: no server phases", p.Algo)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back LatencySLOReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(rep.Points) {
+		t.Fatalf("round-trip lost points")
+	}
+	var tbl bytes.Buffer
+	rep.Format(&tbl)
+	if !strings.Contains(tbl.String(), "total p99") {
+		t.Fatalf("table missing header:\n%s", tbl.String())
+	}
+}
+
+func TestRunLatencySLOSharded(t *testing.T) {
+	rep, err := RunLatencySLO(LatencySLOOpts{
+		Threads:     []int{4},
+		Shards:      []int{2},
+		Iters:       200,
+		SampleEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shards > 1 is remote-engine-only: NOrec is skipped.
+	want := 0
+	for _, a := range latencySLOAlgos {
+		if a != stm.NOrec {
+			want++
+		}
+	}
+	if len(rep.Points) != want {
+		t.Fatalf("got %d points, want %d", len(rep.Points), want)
+	}
+	for _, p := range rep.Points {
+		if p.Shards != 2 {
+			t.Errorf("%s: shards %d, want 2", p.Algo, p.Shards)
+		}
+	}
+}

@@ -56,12 +56,24 @@ func init() {
 		}
 		return sys.ConflictReport()
 	})
-	obs.PublishOpenMetrics(func() obs.ConflictReport {
+	// Live latency decomposition for cmd/stmtop's latency panel.
+	obs.Publish("stm_latency", func() any {
 		sys := liveSys.Load()
 		if sys == nil {
-			return obs.ConflictReport{}
+			return nil
 		}
-		return sys.ConflictReport()
+		return sys.LatencyReport()
+	})
+	obs.PublishOpenMetrics(func() obs.MetricsPage {
+		sys := liveSys.Load()
+		if sys == nil {
+			return obs.MetricsPage{}
+		}
+		return obs.MetricsPage{
+			Conflict: sys.ConflictReport(),
+			Latency:  sys.LatencyReport(),
+			Server:   sys.ServerPhaseHistograms(),
+		}
 	})
 }
 

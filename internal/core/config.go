@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/ssrg-vt/rinval/internal/bloom"
 	"github.com/ssrg-vt/rinval/internal/obs"
@@ -179,6 +180,42 @@ type Config struct {
 	// AttrReservoirSize is the per-slot hot-var reservoir capacity (uniform
 	// sample of conflicting Var ids). Default 128.
 	AttrReservoirSize int
+	// Latency enables the sampled critical-path latency decomposition
+	// (DESIGN.md §12): 1 in LatencySampleEvery transactions per thread is
+	// timed end-to-end and split into app-work, retry, and commit-wait on
+	// the client side, and every commit-server epoch into collect, scan,
+	// inval-wait, write-back, reply (plus cross-shard lock-wait/drain)
+	// phases — all recorded into cache-padded per-actor histograms readable
+	// live via System.LatencyReport, /metrics, and stmtop. Off by default;
+	// when off, every record site is a nil/bool check with no clock read.
+	Latency bool
+	// LatencySampleEvery is the per-thread sampling period of the latency
+	// decomposition: every Nth transaction is timed. 1 times every
+	// transaction. Default 64.
+	LatencySampleEvery int
+	// FlightRecorder arms the anomaly-triggered post-mortem dump: a
+	// background goroutine ticks every FlightInterval, watches the windowed
+	// latency p99 and abort rate against EWMA baselines (and the
+	// commit-servers for stalls), and on a spike writes a flight bundle —
+	// trace-ring snapshots, conflict report, latency report, goroutine
+	// stacks — atomically to a timestamped JSON file under FlightDir.
+	// Implies Latency (the detector needs the windowed p99). Off by default.
+	FlightRecorder bool
+	// FlightDir is the directory flight bundles are written to. Default
+	// "flight" (relative to the working directory).
+	FlightDir string
+	// FlightInterval is the detector's tick period. Default 500ms.
+	FlightInterval time.Duration
+	// FlightP99Factor trips a dump when a window's p99 exceeds this multiple
+	// of the EWMA baseline. Default 3.
+	FlightP99Factor float64
+	// FlightAbortRate trips a dump when a window's abort rate exceeds this
+	// absolute threshold (and twice its EWMA baseline). Default 0.5.
+	FlightAbortRate float64
+	// FlightCooldown suppresses further dumps for this long after one fires,
+	// so a sustained incident produces one bundle, not one per tick.
+	// Default 10s.
+	FlightCooldown time.Duration
 	// Trace enables lifecycle event tracing: every client thread and server
 	// goroutine records begin/read-wait/commit/abort/epoch/invalidation
 	// events with nanosecond timestamps into a fixed-capacity per-actor ring
@@ -246,6 +283,44 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.AttrSampleEvery == 0 {
 		c.AttrSampleEvery = 8
+	}
+	if c.FlightRecorder {
+		// The anomaly detector runs off the windowed latency p99; arming the
+		// flight recorder forces the decomposition on.
+		c.Latency = true
+	}
+	if c.LatencySampleEvery == 0 {
+		c.LatencySampleEvery = 64
+	}
+	if c.LatencySampleEvery < 1 || c.LatencySampleEvery > 1<<20 {
+		return c, fmt.Errorf("core: LatencySampleEvery %d out of range [1,1Mi]", c.LatencySampleEvery)
+	}
+	if c.FlightDir == "" {
+		c.FlightDir = "flight"
+	}
+	if c.FlightInterval == 0 {
+		c.FlightInterval = 500 * time.Millisecond
+	}
+	if c.FlightInterval < 0 {
+		return c, fmt.Errorf("core: negative FlightInterval %v", c.FlightInterval)
+	}
+	if c.FlightP99Factor == 0 {
+		c.FlightP99Factor = 3
+	}
+	if c.FlightP99Factor < 1 {
+		return c, fmt.Errorf("core: FlightP99Factor %v below 1", c.FlightP99Factor)
+	}
+	if c.FlightAbortRate == 0 {
+		c.FlightAbortRate = 0.5
+	}
+	if c.FlightAbortRate < 0 || c.FlightAbortRate > 1 {
+		return c, fmt.Errorf("core: FlightAbortRate %v out of range [0,1]", c.FlightAbortRate)
+	}
+	if c.FlightCooldown == 0 {
+		c.FlightCooldown = 10 * time.Second
+	}
+	if c.FlightCooldown < 0 {
+		return c, fmt.Errorf("core: negative FlightCooldown %v", c.FlightCooldown)
 	}
 	if c.AttrReservoirSize == 0 {
 		c.AttrReservoirSize = 128

@@ -98,6 +98,12 @@ type shardServer struct {
 	// tracing is off; every recording call on them is then a no-op).
 	commitRing *obs.Ring
 	invalRings []*obs.Ring
+
+	// latC/invalLat are the servers' latency-phase cells (nil when
+	// Config.Latency is off; recording on a nil cell is a no-op). Servers
+	// record every epoch — only client cells sample.
+	latC     *obs.LatCell
+	invalLat []*obs.LatCell
 }
 
 func newRemoteEngine(sys *System, numInval, stepsAhead int) *remoteEngine {
@@ -131,6 +137,11 @@ func newRemoteEngine(sys *System, numInval, stepsAhead int) *remoteEngine {
 		for i := range sv.sigBufs {
 			sv.sigBufs[i] = bloom.NewFilter(sys.cfg.Bloom)
 			sv.memberBufs[i] = newSlotMask(sys.cfg.MaxThreads)
+		}
+		sv.latC = sys.lat.Server(j)
+		sv.invalLat = make([]*obs.LatCell, perShard)
+		for k := range sv.invalLat {
+			sv.invalLat[k] = sys.lat.Server(len(sys.streams) + j*sys.nInvalPerShard + k)
 		}
 		sv.invalRings = make([]*obs.Ring, perShard)
 		if sys.tracer != nil {
@@ -334,10 +345,10 @@ func (sv *shardServer) serveEpochFrom(first int) bool {
 		defer sys.unlockStream(sv.shard)
 	}
 	// Phase timestamps cost a clock read each, so they are taken only when
-	// someone consumes them: the phase histograms (cfg.Stats) or the trace
-	// ring. The queue-depth and step-ahead samples are clock-free and
-	// always collected.
-	timing := sys.cfg.Stats || ring != nil
+	// someone consumes them: the phase histograms (cfg.Stats), the trace
+	// ring, or the live latency recorder. The queue-depth and step-ahead
+	// samples are clock-free and always collected.
+	timing := sys.cfg.Stats || ring != nil || sv.latC != nil
 	var tStart int64
 	if timing {
 		tStart = obs.Now()
@@ -416,6 +427,7 @@ func (sv *shardServer) serveEpochFrom(first int) bool {
 		if sys.cfg.Stats {
 			phases.ScanNs.Record(uint64(now - tPrev))
 		}
+		sv.latC.Record(obs.LatCollect, now-tPrev)
 		ring.SpanAt(obs.KScan, tPrev, now, pending)
 		tPrev = now
 	}
@@ -438,6 +450,7 @@ func (sv *shardServer) serveEpochFrom(first int) bool {
 			if sys.cfg.Stats {
 				phases.InvalWaitNs.Record(uint64(now - tPrev))
 			}
+			sv.latC.Record(obs.LatInvalWait, now-tPrev)
 			ring.SpanAt(obs.KInvalWait, tPrev, now, 0)
 			tPrev = now
 		}
@@ -490,11 +503,13 @@ func (sv *shardServer) serveEpochFrom(first int) bool {
 		atomic.AddUint64(&sv.commitSrv.Invalidations, doomed)
 		if timing {
 			// V1 has no lag wait; the inline scan itself is the
-			// invalidation phase.
+			// invalidation phase (latency phase "scan", since the server
+			// actively scans rather than waits).
 			now := obs.Now()
 			if sys.cfg.Stats {
 				phases.InvalWaitNs.Record(uint64(now - tPrev))
 			}
+			sv.latC.Record(obs.LatScan, now-tPrev)
 			ring.SpanAt(obs.KInvalWait, tPrev, now, doomed)
 			tPrev = now
 		}
@@ -527,6 +542,7 @@ func (sv *shardServer) serveEpochFrom(first int) bool {
 		if sys.cfg.Stats {
 			phases.WriteBackNs.Record(uint64(now - tPrev))
 		}
+		sv.latC.Record(obs.LatWriteBack, now-tPrev)
 		ring.SpanAt(obs.KWriteBack, tPrev, now, uint64(n))
 		tPrev = now
 	}
@@ -538,6 +554,7 @@ func (sv *shardServer) serveEpochFrom(first int) bool {
 		if sys.cfg.Stats {
 			phases.ReplyNs.Record(uint64(now - tPrev))
 		}
+		sv.latC.Record(obs.LatReply, now-tPrev)
 		ring.SpanAt(obs.KReply, tPrev, now, uint64(n))
 		ring.SpanAt(obs.KEpoch, tStart, now, uint64(n))
 	}
@@ -566,13 +583,22 @@ func (sv *shardServer) serveCrossShard(i int, req *commitReq) {
 	s := &sys.slots[i]
 	touched := req.touched
 	ring := sv.commitRing
-	timing := sys.cfg.Stats || ring != nil
+	timing := sys.cfg.Stats || ring != nil || sv.latC != nil
 	var tStart int64
 	if timing {
 		tStart = obs.Now()
 	}
 	for m := touched; m != 0; m &= m - 1 {
 		sys.lockStream(bits.TrailingZeros64(m))
+	}
+	tPrev := tStart // end of the last timed handshake phase
+	if timing {
+		now := obs.Now()
+		if sys.cfg.Stats {
+			sv.commitSrv.Server.LockWaitNs.Record(uint64(now - tPrev))
+		}
+		sv.latC.Record(obs.LatLockWait, now-tPrev)
+		tPrev = now
 	}
 	if sv.eng.numInval > 0 {
 		// Drain every touched stream: with its lock held the timestamp is
@@ -589,6 +615,14 @@ func (sv *shardServer) serveCrossShard(i int, req *commitReq) {
 					w.Wait()
 				}
 			}
+		}
+		if timing {
+			now := obs.Now()
+			if sys.cfg.Stats {
+				sv.commitSrv.Server.DrainNs.Record(uint64(now - tPrev))
+			}
+			sv.latC.Record(obs.LatDrain, now-tPrev)
+			tPrev = now
 		}
 	}
 	if _, alive := s.aliveWord(); !alive {
@@ -647,8 +681,9 @@ func (sv *shardServer) serveCrossShard(i int, req *commitReq) {
 	if timing {
 		now := obs.Now()
 		if sys.cfg.Stats {
-			sv.commitSrv.Server.WriteBackNs.Record(uint64(now - tStart))
+			sv.commitSrv.Server.WriteBackNs.Record(uint64(now - tPrev))
 		}
+		sv.latC.Record(obs.LatWriteBack, now-tPrev)
 		ring.SpanAt(obs.KEpoch, tStart, now, 1)
 	}
 	atomic.AddUint64(&sv.commitSrv.Commits, 1)
@@ -681,6 +716,8 @@ func (sv *shardServer) invalServerMain(k int, stop func() bool) {
 	st := sv.st
 	stats := &sv.invalSrv[k]
 	ring := sv.invalRings[k]
+	lc := sv.invalLat[k]
+	timing := ring != nil || lc != nil
 	var w spin.Waiter
 	for !stop() {
 		my := st.invalTS[k].Load()
@@ -688,12 +725,19 @@ func (sv *shardServer) invalServerMain(k int, stop func() bool) {
 			// The descriptor for base timestamp `my` was published before
 			// the timestamp moved past it, and no epoch driver can
 			// overwrite it until this server advances (ring bound).
-			t0 := ring.Now()
+			var t0 int64
+			if timing {
+				t0 = obs.Now()
+			}
 			d := st.ring[(my/2)%uint64(len(st.ring))].Load()
 			doomed := sys.invalidatePartition(k, d.members, d.bf, ring, d.kd)
 			atomic.AddUint64(&stats.Invalidations, doomed)
 			st.invalTS[k].Store(my + 2)
-			ring.Span(obs.KInvalScan, t0, doomed)
+			if timing {
+				now := obs.Now()
+				lc.Record(obs.LatScan, now-t0)
+				ring.SpanAt(obs.KInvalScan, t0, now, doomed)
+			}
 			w.Reset()
 		} else {
 			w.Wait()

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/ssrg-vt/rinval/internal/histo"
+	"github.com/ssrg-vt/rinval/internal/obs"
+)
+
+// DumpFlightBundle assembles the full post-mortem bundle — latency report,
+// conflict report, trace-ring snapshots, goroutine stacks — and writes it
+// atomically to Config.FlightDir, returning the file path. Safe to call
+// while transactions run (every section reads through concurrent-safe
+// snapshots); callable directly for operator-initiated dumps, and what the
+// flight recorder invokes when its detector trips.
+func (s *System) DumpFlightBundle(reason string) (string, error) {
+	b := &obs.FlightBundle{
+		Reason:    reason,
+		UnixNanos: time.Now().UnixNano(),
+		Latency:   s.LatencyReport(),
+		Conflict:  s.ConflictReport(),
+		Trace:     obs.SnapshotTracer(s.tracer),
+		Stacks:    obs.AllStacks(),
+	}
+	return b.WriteFile(s.cfg.FlightDir)
+}
+
+// flightState is the detector's between-tick memory: the previous tick's
+// cumulative latency snapshot (windowed p99 = delta), counter baselines for
+// the abort-rate window, and the stall tracker (which slots were waiting on
+// a commit reply, and each shard server's epoch count).
+type flightState struct {
+	det         *obs.AnomalyDetector
+	prevTotal   histo.Histogram
+	prevCommits uint64
+	prevAborts  uint64
+	prevEpochs  []uint64
+	prevPending []bool
+}
+
+func (s *System) newFlightState() *flightState {
+	fs := &flightState{
+		det:         obs.NewAnomalyDetector(s.cfg.FlightP99Factor, s.cfg.FlightAbortRate),
+		prevPending: make([]bool, len(s.slots)),
+	}
+	if re, ok := s.eng.(*remoteEngine); ok {
+		fs.prevEpochs = make([]uint64, len(re.srv))
+	}
+	return fs
+}
+
+// flightTick evaluates one detector window and returns a non-empty dump
+// reason if it is anomalous. Split from flightLoop so tests can drive ticks
+// deterministically.
+func (s *System) flightTick(fs *flightState) string {
+	// Commit-server stall: a client has been spinning on its commit reply
+	// across two consecutive ticks while no shard server finished an epoch.
+	// Checked before the rate math so a wedged server is reported even when
+	// the stall has driven the windows to zero activity.
+	epochsAdvanced := false
+	if re, ok := s.eng.(*remoteEngine); ok {
+		for j := range re.srv {
+			e := atomic.LoadUint64(&re.srv[j].commitSrv.Epochs)
+			if e != fs.prevEpochs[j] {
+				epochsAdvanced = true
+			}
+			fs.prevEpochs[j] = e
+		}
+		stalled := -1
+		for i := range s.slots {
+			pending := s.slots[i].state.Load() == reqPending
+			if pending && fs.prevPending[i] && !epochsAdvanced {
+				stalled = i
+			}
+			fs.prevPending[i] = pending
+		}
+		if stalled >= 0 {
+			return fmt.Sprintf("commit-server stall: slot %d pending across two ticks with no epoch progress", stalled)
+		}
+	}
+
+	st := s.Stats()
+	dCommits := st.Commits - fs.prevCommits
+	dAborts := st.Aborts - fs.prevAborts
+	fs.prevCommits, fs.prevAborts = st.Commits, st.Aborts
+
+	cur := s.latTotalHistogram()
+	win := histo.Delta(&cur, &fs.prevTotal)
+	fs.prevTotal = cur
+
+	if dCommits+dAborts == 0 && win.Count() == 0 {
+		return "" // idle window: no signal, and don't dilute the baseline
+	}
+	// Under-sampled windows carry no p99 signal (Observe skips p99 when <= 0);
+	// the abort rate is still fed from the full counter deltas.
+	p99 := float64(0)
+	if win.Count() >= flightMinSamples {
+		p99 = float64(win.Quantile(0.99))
+	}
+	abortRate := float64(0)
+	if dCommits+dAborts > 0 {
+		abortRate = float64(dAborts) / float64(dCommits+dAborts)
+	}
+	return fs.det.Observe(p99, abortRate)
+}
+
+// flightMinSamples is the minimum sampled transactions a window needs before
+// its p99 is considered meaningful.
+const flightMinSamples = 8
+
+// flightLoop is the flight-recorder goroutine: tick, detect, dump, cool
+// down. Started by startServers when Config.FlightRecorder is set; stopped
+// by Close via flightStop.
+func (s *System) flightLoop() {
+	fs := s.newFlightState()
+	ticker := time.NewTicker(s.cfg.FlightInterval)
+	defer ticker.Stop()
+	var lastDump time.Time
+	for {
+		select {
+		case <-s.flightStop:
+			return
+		case <-ticker.C:
+		}
+		reason := s.flightTick(fs)
+		if reason == "" {
+			continue
+		}
+		if !lastDump.IsZero() && time.Since(lastDump) < s.cfg.FlightCooldown {
+			continue
+		}
+		if _, err := s.DumpFlightBundle(reason); err == nil {
+			lastDump = time.Now()
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/ssrg-vt/rinval/internal/histo"
+	"github.com/ssrg-vt/rinval/internal/obs"
+)
+
+// LatencyReport returns the merged critical-path latency decomposition
+// (Config.Latency). Safe to call while transactions run: the cells are
+// snapshotted atomically. With Latency off, Enabled is false.
+func (s *System) LatencyReport() obs.LatencyReport {
+	return s.lat.Report()
+}
+
+// latTotalHistogram merges the client end-to-end ("total") phase across all
+// cells — the flight recorder's p99 source.
+func (s *System) latTotalHistogram() histo.Histogram {
+	return s.lat.ClientPhaseHistogram(obs.LatTotal)
+}
+
+// ServerPhaseHistograms exposes the commit-server phase histograms
+// (Stats.Server) as named OpenMetrics histogram families, one child per
+// (shard, phase). The underlying histograms are owned by the server
+// goroutines and folded into Stats at Close, so before Close this returns
+// empty children — the live phase view is the latency report's server side
+// (stm_latency_ns{side="server"}), which is recorded through atomic cells.
+func (s *System) ServerPhaseHistograms() []obs.NamedHistogram {
+	shardStats := s.ShardServerStats()
+	if shardStats == nil {
+		// Non-RInval engines have no commit-server; fall back to the global
+		// aggregate (all zero for them, but keeps the families present).
+		return serverPhaseChildren(-1, s.Stats())
+	}
+	var out []obs.NamedHistogram
+	for j, st := range shardStats {
+		out = append(out, serverPhaseChildren(j, st)...)
+	}
+	return out
+}
+
+// serverPhaseChildren renders one Stats' server histograms as histogram
+// children labeled with shard (omitted when shard < 0).
+func serverPhaseChildren(shard int, st Stats) []obs.NamedHistogram {
+	shardLabel := ""
+	if shard >= 0 {
+		shardLabel = fmt.Sprintf("shard=\"%d\",", shard)
+	}
+	phases := []struct {
+		name string
+		h    histo.Histogram
+	}{
+		{"scan", st.Server.ScanNs},
+		{"inval-wait", st.Server.InvalWaitNs},
+		{"write-back", st.Server.WriteBackNs},
+		{"reply", st.Server.ReplyNs},
+		{"lock-wait", st.Server.LockWaitNs},
+		{"drain", st.Server.DrainNs},
+	}
+	out := make([]obs.NamedHistogram, 0, len(phases)+3)
+	for _, p := range phases {
+		out = append(out, obs.NamedHistogram{
+			Name:   "stm_server_phase_ns",
+			Labels: fmt.Sprintf("%sphase=%q", shardLabel, p.name),
+			Hist:   p.h,
+		})
+	}
+	trim := func(label string) string {
+		if shardLabel == "" {
+			return ""
+		}
+		return label[:len(label)-1] // drop the trailing comma for lone labels
+	}
+	out = append(out,
+		obs.NamedHistogram{Name: "stm_server_queue_depth", Labels: trim(shardLabel), Hist: st.Server.QueueDepth},
+		obs.NamedHistogram{Name: "stm_server_step_ahead", Labels: trim(shardLabel), Hist: st.Server.StepAhead},
+		obs.NamedHistogram{Name: "stm_batch_size", Labels: trim(shardLabel), Hist: st.BatchSizes},
+	)
+	return out
+}

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ssrg-vt/rinval/internal/obs"
+)
+
+// TestLatencyReconciliation churns every engine with sampling on and checks
+// the decomposition's books balance: every client phase histogram holds
+// exactly one sample per sampled commit, and the phase sums never exceed the
+// end-to-end sum (the attempt intervals are disjoint within [start, end]).
+// Run under -race this also exercises concurrent Report against live owners.
+func TestLatencyReconciliation(t *testing.T) {
+	forEachAlgo(t, func(t *testing.T, algo Algo) {
+		const (
+			threads = 4
+			perThr  = 400
+			every   = 4
+		)
+		s := newSys(t, algo, func(c *Config) {
+			c.Latency = true
+			c.LatencySampleEvery = every
+			c.MaxThreads = 8
+		})
+		vars := make([]*Var, 4)
+		for i := range vars {
+			vars[i] = NewVar(0)
+		}
+		var wg sync.WaitGroup
+		stopRep := make(chan struct{})
+		wg.Add(1)
+		go func() { // concurrent reader while owners record
+			defer wg.Done()
+			for {
+				select {
+				case <-stopRep:
+					return
+				case <-time.After(time.Millisecond):
+					_ = s.LatencyReport()
+				}
+			}
+		}()
+		var workers sync.WaitGroup
+		for g := 0; g < threads; g++ {
+			workers.Add(1)
+			go func(g int) {
+				defer workers.Done()
+				th := s.MustRegister()
+				defer th.Close()
+				for i := 0; i < perThr; i++ {
+					v := vars[(g+i)%len(vars)]
+					_ = th.Atomically(func(tx *Tx) error {
+						tx.Store(v, tx.Load(v).(int)+1)
+						return nil
+					})
+				}
+			}(g)
+		}
+		workers.Wait()
+		close(stopRep)
+		wg.Wait()
+
+		rep := s.LatencyReport()
+		if !rep.Enabled || rep.SampleEvery != every {
+			t.Fatalf("report not enabled as configured: %+v", rep)
+		}
+		want := uint64(threads * perThr / every)
+		if rep.SampledCommits != want {
+			t.Fatalf("SampledCommits = %d, want %d", rep.SampledCommits, want)
+		}
+		var sum, total uint64
+		for _, p := range rep.Client {
+			if p.Count != want {
+				t.Errorf("client phase %s count = %d, want %d", p.Phase, p.Count, want)
+			}
+			if p.Phase == "total" {
+				total = p.SumNs
+			} else {
+				sum += p.SumNs
+			}
+		}
+		if total == 0 || sum > total {
+			t.Errorf("phase sums do not reconcile: app+retry+commit-wait = %d, total = %d", sum, total)
+		}
+		// RInval engines must also have per-epoch server phases; phases the
+		// variant never records (e.g. V1's lag wait) are elided, so every
+		// listed phase must carry samples.
+		switch algo {
+		case RInvalV1, RInvalV2, RInvalV3:
+			names := map[string]bool{}
+			for _, p := range rep.Server {
+				names[p.Phase] = true
+				if p.Count == 0 {
+					t.Errorf("server phase %s listed but empty", p.Phase)
+				}
+			}
+			for _, want := range []string{"collect", "write-back", "reply"} {
+				if !names[want] {
+					t.Errorf("server phase %s missing for %s", want, algo)
+				}
+			}
+		}
+	})
+}
+
+// TestLatencyDisabled checks the zero-cost path reports itself off.
+func TestLatencyDisabled(t *testing.T) {
+	s := newSys(t, NOrec, nil)
+	th := s.MustRegister()
+	defer th.Close()
+	v := NewVar(0)
+	for i := 0; i < 100; i++ {
+		_ = th.Atomically(func(tx *Tx) error { tx.Store(v, i); return nil })
+	}
+	rep := s.LatencyReport()
+	if rep.Enabled || rep.SampledCommits != 0 || len(rep.Client) != 0 {
+		t.Fatalf("disabled system produced a live report: %+v", rep)
+	}
+}
+
+// TestLatencyUserAbortsUnrecorded checks a sampled transaction that ends in a
+// user abort leaves no phase samples, keeping counts == sampled commits.
+func TestLatencyUserAbortsUnrecorded(t *testing.T) {
+	s := newSys(t, NOrec, func(c *Config) {
+		c.Latency = true
+		c.LatencySampleEvery = 1
+	})
+	th := s.MustRegister()
+	defer th.Close()
+	v := NewVar(0)
+	errBoom := errTest
+	commits := 0
+	for i := 0; i < 100; i++ {
+		err := th.Atomically(func(tx *Tx) error {
+			tx.Store(v, i)
+			if i%3 == 0 {
+				return errBoom
+			}
+			return nil
+		})
+		if err == nil {
+			commits++
+		}
+	}
+	rep := s.LatencyReport()
+	if rep.SampledCommits != uint64(commits) {
+		t.Fatalf("SampledCommits = %d, want %d (user aborts must not record)", rep.SampledCommits, commits)
+	}
+	for _, p := range rep.Client {
+		if p.Count != uint64(commits) {
+			t.Errorf("phase %s count = %d, want %d", p.Phase, p.Count, commits)
+		}
+	}
+}
+
+var errTest = os.ErrInvalid
+
+// TestFlightTickStallDetection drives the detector's tick function directly:
+// a slot left PENDING across two ticks with no shard-server epoch progress
+// must be reported as a commit-server stall.
+func TestFlightTickStallDetection(t *testing.T) {
+	cfg := Config{Algo: RInvalV2, MaxThreads: 8, InvalServers: 2, FlightRecorder: true}
+	s, err := newSystem(cfg) // servers deliberately not started: epochs frozen
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := s.newFlightState()
+	s.slots[3].state.Store(reqPending)
+	if r := s.flightTick(fs); r != "" {
+		t.Fatalf("first tick tripped early: %q", r)
+	}
+	r := s.flightTick(fs)
+	if !strings.Contains(r, "stall") || !strings.Contains(r, "slot 3") {
+		t.Fatalf("second tick reason = %q, want commit-server stall on slot 3", r)
+	}
+	// Epoch progress clears the tracker: bump a server's epoch counter and
+	// the still-pending slot no longer counts as stalled.
+	s.slots[3].state.Store(reqPending)
+	re := s.eng.(*remoteEngine)
+	re.srv[0].commitSrv.Epochs++
+	if r := s.flightTick(fs); r != "" {
+		t.Fatalf("tick with epoch progress tripped: %q", r)
+	}
+}
+
+// TestFlightRecorderDumpsOnAbortSpike forces a real anomaly through the
+// running flight loop: a calm warmup establishes the baseline, then heavy
+// write-write contention spikes the abort rate past the threshold. The dump
+// must appear in FlightDir and parse back with all four sections populated.
+func TestFlightRecorderDumpsOnAbortSpike(t *testing.T) {
+	dir := t.TempDir()
+	s := newSys(t, NOrec, func(c *Config) {
+		c.MaxThreads = 8
+		c.FlightRecorder = true
+		c.FlightDir = dir
+		c.FlightInterval = 5 * time.Millisecond
+		c.FlightAbortRate = 0.05
+		c.FlightCooldown = time.Minute
+		c.Trace = true
+		c.Attribution = true
+		c.Stats = true
+	})
+	const workers = 4
+	stop := make(chan struct{})
+	contend := make(chan struct{})
+	shared := NewVar(0)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := s.MustRegister()
+			defer th.Close()
+			private := NewVar(0)
+			contended := false
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				case <-contend:
+					contended = true
+				default:
+				}
+				v := private // disjoint during warmup: near-zero abort rate
+				if contended {
+					v = shared
+				}
+				_ = th.Atomically(func(tx *Tx) error {
+					tx.Store(v, tx.Load(v).(int)+1)
+					return nil
+				})
+			}
+		}(g)
+	}
+	time.Sleep(100 * time.Millisecond) // > detector warmup at 5ms ticks
+	close(contend)
+
+	var bundle string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		m, _ := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+		if len(m) > 0 {
+			bundle = m[0]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if bundle == "" {
+		t.Fatal("no flight bundle appeared under contention")
+	}
+	data, err := os.ReadFile(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b obs.FlightBundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("bundle does not parse: %v", err)
+	}
+	if b.Reason == "" || b.UnixNanos == 0 {
+		t.Errorf("bundle missing reason/timestamp: %+v", b.Reason)
+	}
+	if !b.Latency.Enabled || b.Latency.SampleEvery == 0 {
+		t.Error("bundle latency section empty (FlightRecorder must imply Latency)")
+	}
+	if !b.Conflict.Enabled {
+		t.Error("bundle conflict section not enabled")
+	}
+	if len(b.Trace) == 0 {
+		t.Error("bundle trace section empty with Config.Trace set")
+	}
+	if !strings.Contains(b.Stacks, "goroutine") {
+		t.Error("bundle stacks section empty")
+	}
+	// Leftover temp files would mean a non-atomic write path.
+	if tmp, _ := filepath.Glob(filepath.Join(dir, ".flight-*.tmp")); len(tmp) != 0 {
+		t.Errorf("temp files left behind: %v", tmp)
+	}
+}
+
+// TestDumpFlightBundleDirect covers the operator-initiated dump entry point
+// on a quiescent system.
+func TestDumpFlightBundleDirect(t *testing.T) {
+	dir := t.TempDir()
+	s := newSys(t, RInvalV2, func(c *Config) {
+		c.Latency = true
+		c.LatencySampleEvery = 1
+		c.FlightDir = dir
+		c.Trace = true
+	})
+	th := s.MustRegister()
+	v := NewVar(0)
+	for i := 0; i < 50; i++ {
+		_ = th.Atomically(func(tx *Tx) error { tx.Store(v, i); return nil })
+	}
+	th.Close()
+	path, err := s.DumpFlightBundle("operator request")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b obs.FlightBundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Reason != "operator request" || b.Latency.SampledCommits != 50 {
+		t.Fatalf("bundle contents wrong: reason=%q sampled=%d", b.Reason, b.Latency.SampledCommits)
+	}
+}
+
+// TestLatencyConfigValidation pins the observability knobs' defaulting and
+// range checks.
+func TestLatencyConfigValidation(t *testing.T) {
+	c, err := Config{FlightRecorder: true}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Latency {
+		t.Error("FlightRecorder must imply Latency")
+	}
+	if c.LatencySampleEvery != 64 || c.FlightDir != "flight" ||
+		c.FlightInterval != 500*time.Millisecond || c.FlightP99Factor != 3 ||
+		c.FlightAbortRate != 0.5 || c.FlightCooldown != 10*time.Second {
+		t.Errorf("bad observability defaults: %+v", c)
+	}
+	bad := []Config{
+		{Latency: true, LatencySampleEvery: -1},
+		{Latency: true, LatencySampleEvery: 1 << 21},
+		{FlightRecorder: true, FlightInterval: -time.Second},
+		{FlightRecorder: true, FlightP99Factor: 0.5},
+		{FlightRecorder: true, FlightAbortRate: 1.5},
+		{FlightRecorder: true, FlightCooldown: -time.Second},
+	}
+	for _, b := range bad {
+		if _, err := b.withDefaults(); err == nil {
+			t.Errorf("config %+v accepted", b)
+		}
+	}
+}
+
+// BenchmarkLatencyOverhead measures the exact per-transaction client
+// instrumentation sequence — the sampling decision plus every latOn-gated
+// clock read and record — in isolation. The "off" case (nil cell, Latency
+// unset) is the always-on budget: it must stay within a couple of
+// nanoseconds and allocation-free.
+// latOverheadLoop is the exact per-transaction client instrumentation
+// sequence — the sampling decision plus every latOn-gated clock read and
+// record — concentrated into one loop, on a heap Tx as Atomically uses.
+//
+//go:noinline
+func latOverheadLoop(n int, cell *obs.LatCell) {
+	tx := new(Tx)
+	tx.lat = cell
+	for i := 0; i < n; i++ {
+		if tx.lat != nil && tx.lat.Sample() { // Atomically entry
+			tx.latOn = true
+			tx.latT0 = obs.Now()
+			tx.latAttemptT0 = tx.latT0
+			tx.latRetryNs = 0
+		} else if tx.latOn {
+			tx.latOn = false
+		}
+		var latC0 int64
+		if tx.latOn { // finishCommit() pre-commit
+			latC0 = obs.Now()
+		}
+		if tx.latOn { // finishCommit() success path
+			end := obs.Now()
+			tx.lat.CommitSample(latC0-tx.latAttemptT0, end-latC0, tx.latRetryNs, end-tx.latT0)
+		}
+	}
+}
+
+func BenchmarkLatencyOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		latOverheadLoop(b.N, nil)
+	})
+	b.Run("on-1in64", func(b *testing.B) {
+		rec := obs.NewLatencyRecorder(1, 0, 64)
+		b.ReportAllocs()
+		latOverheadLoop(b.N, rec.Client(0))
+	})
+	b.Run("on-every", func(b *testing.B) {
+		rec := obs.NewLatencyRecorder(1, 0, 1)
+		b.ReportAllocs()
+		latOverheadLoop(b.N, rec.Client(0))
+	})
+}

@@ -94,6 +94,12 @@ type ServerPhases struct {
 	WriteBackNs histo.Histogram
 	// ReplyNs is the reply fan-out duration.
 	ReplyNs histo.Histogram
+	// LockWaitNs is the cross-shard handshake's stream-lock acquisition
+	// duration, one sample per cross-shard commit (Config.Shards > 1 only).
+	LockWaitNs histo.Histogram
+	// DrainNs is the cross-shard handshake's invalidation-backlog drain
+	// duration (Config.Shards > 1, V2/V3 only).
+	DrainNs histo.Histogram
 	// StepAhead is the V3 step-ahead occupancy: how many commits the
 	// commit-server was running ahead of the slowest invalidation-server
 	// when each epoch started.
@@ -107,6 +113,8 @@ func (p *ServerPhases) merge(o *ServerPhases) {
 	p.InvalWaitNs.Merge(&o.InvalWaitNs)
 	p.WriteBackNs.Merge(&o.WriteBackNs)
 	p.ReplyNs.Merge(&o.ReplyNs)
+	p.LockWaitNs.Merge(&o.LockWaitNs)
+	p.DrainNs.Merge(&o.DrainNs)
 	p.StepAhead.Merge(&o.StepAhead)
 }
 

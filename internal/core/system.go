@@ -171,6 +171,18 @@ type System struct {
 	// as the trace rings).
 	attr *obs.Attribution
 
+	// lat is the critical-path latency recorder when cfg.Latency is set; nil
+	// otherwise (nil-receiver no-op discipline, like attr and the rings).
+	// Cells: client slot i records into lat.Client(i); shard j's
+	// commit-server into lat.Server(j); its invalidation-server k into
+	// lat.Server(Shards + j*nInvalPerShard + k).
+	lat *obs.LatencyRecorder
+
+	// flightStop ends the flight-recorder goroutine (cfg.FlightRecorder).
+	// A dedicated channel rather than the stop flag so Close interrupts the
+	// detector's tick sleep immediately instead of waiting out the interval.
+	flightStop chan struct{}
+
 	regMu     sync.Mutex
 	freeSlots []int
 	live      map[*Thread]struct{}
@@ -248,6 +260,13 @@ func newSystem(cfg Config) (*System, error) {
 	if cfg.Attribution {
 		s.attr = obs.NewAttribution(cfg.MaxThreads, cfg.AttrReservoirSize, cfg.Seed)
 	}
+	if cfg.Latency {
+		// Before engine construction: the shard servers capture their cells.
+		// Server cells are allocated for every engine (the non-RInval ones
+		// simply leave theirs empty).
+		s.lat = obs.NewLatencyRecorder(cfg.MaxThreads,
+			cfg.Shards*(1+s.nInvalPerShard), cfg.LatencySampleEvery)
+	}
 
 	switch cfg.Algo {
 	case Mutex:
@@ -281,6 +300,15 @@ func newSystem(cfg Config) (*System, error) {
 // its task name so CPU/goroutine profiles attribute server time separately
 // from client time.
 func (s *System) startServers() {
+	if s.cfg.FlightRecorder {
+		s.flightStop = make(chan struct{})
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			pprof.Do(context.Background(), pprof.Labels("stm-role", "flight-recorder"),
+				func(context.Context) { s.flightLoop() })
+		}()
+	}
 	for _, task := range s.eng.serverTasks() {
 		s.wg.Add(1)
 		go func(t serverTask) {
@@ -329,6 +357,9 @@ func (s *System) Close() error {
 	s.regMu.Unlock()
 
 	s.stop.Store(true)
+	if s.flightStop != nil {
+		close(s.flightStop)
+	}
 	s.wg.Wait()
 	s.retired.Add(s.eng.serverStats())
 	return nil
@@ -365,6 +396,7 @@ func (s *System) Register() (*Thread, error) {
 	if s.tracer != nil {
 		th.tx.ring = s.tracer.Ring(idx)
 	}
+	th.tx.lat = s.lat.Client(idx) // nil cell when Latency is off
 	if s.attr != nil {
 		// The thread's reusable unsampled killer descriptor: immutable, so
 		// victims may read it long after the commit that published it.

@@ -77,6 +77,20 @@ func (th *Thread) Atomically(fn func(*Tx) error) error {
 	tx := &th.tx
 	tx.attempts = 0
 	th.backoff.Reset()
+	// One sampling decision per transaction, before the first attempt: all
+	// of a sampled transaction's attempts are timed, so the retry phase is
+	// complete and the phase counts equal the sampled-commit count. With
+	// Latency off (nil cell) this path does no store at all, and latOn stays
+	// at its zero value; the conditional reset only pays when the previous
+	// transaction was sampled.
+	if tx.lat != nil && tx.lat.Sample() {
+		tx.latOn = true
+		tx.latT0 = obs.Now()
+		tx.latAttemptT0 = tx.latT0
+		tx.latRetryNs = 0
+	} else if tx.latOn {
+		tx.latOn = false
+	}
 	for {
 		tx.begin()
 		err, conflicted := tx.run(fn)
@@ -125,6 +139,18 @@ type Tx struct {
 	ring *obs.Ring
 	// traceT0 is the attempt's begin timestamp on the trace clock.
 	traceT0 int64
+
+	// Latency-decomposition state (Config.Latency; DESIGN.md §12). lat is
+	// this thread's phase cell (nil when off); latOn marks the current
+	// transaction as sampled — every clock read below is gated on it, so an
+	// unsampled (or disabled) transaction costs only the flag checks.
+	// latT0 anchors the end-to-end phase, latAttemptT0 the current attempt,
+	// and latRetryNs accumulates failed attempts including backoff.
+	lat          *obs.LatCell
+	latOn        bool
+	latT0        int64
+	latAttemptT0 int64
+	latRetryNs   int64
 
 	// Attribution state, used only under Config.Attribution (see attr.go).
 	// attrKD is this thread's cached unsampled killer descriptor (immutable;
@@ -256,6 +282,10 @@ func (tx *Tx) finishCommit() bool {
 	if tx.sys.cfg.Stats {
 		t0 = realClock()
 	}
+	var latC0 int64
+	if tx.latOn {
+		latC0 = obs.Now()
+	}
 	tc := tx.ring.Now()
 	ok := tx.sys.eng.commit(tx)
 	if tx.sys.cfg.Stats {
@@ -269,6 +299,14 @@ func (tx *Tx) finishCommit() bool {
 		}
 		tx.ring.Span(obs.KCommit, tc, 0)
 		tx.ring.Span(obs.KTx, tx.traceT0, obs.OutcomeCommit)
+		if tx.latOn {
+			// One record per phase per sampled commit, so every client phase
+			// histogram's count equals the sampled-commit count, and
+			// app + commit-wait + retry <= total (the attempt intervals are
+			// disjoint and all lie within [latT0, end]).
+			end := obs.Now()
+			tx.lat.CommitSample(latC0-tx.latAttemptT0, end-latC0, tx.latRetryNs, end-tx.latT0)
+		}
 	}
 	return ok
 }
@@ -297,6 +335,15 @@ func (tx *Tx) onConflictAbort() {
 	}
 	if tx.sys.cfg.Stats {
 		atomic.AddUint64(&tx.stats.AbortNs, uint64(realClock().Sub(t0)))
+	}
+	if tx.latOn {
+		// After the backoff pause: the retry phase is the full cost of the
+		// failed attempt, deliberate wait included. The same timestamp
+		// anchors the next attempt, so begin() needs no clock read of its
+		// own and the attempt intervals stay disjoint.
+		now := obs.Now()
+		tx.latRetryNs += now - tx.latAttemptT0
+		tx.latAttemptT0 = now
 	}
 }
 

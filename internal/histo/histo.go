@@ -11,6 +11,7 @@ package histo
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 )
@@ -64,8 +65,11 @@ func (h *Histogram) Min() uint64 { return h.min }
 func (h *Histogram) Max() uint64 { return h.max }
 
 // Quantile returns an estimate of the q-quantile (0 < q <= 1): the
-// geometric midpoint of the bucket containing it, clamped to [Min, Max].
-// Returns 0 when empty.
+// geometric midpoint of the bucket containing the nearest-rank sample,
+// clamped to [Min, Max]. The rank is ceil(q*count) — the standard
+// nearest-rank definition — so q=0.5 over three samples selects the middle
+// one, not the first (truncation used to bias every mid-bucket quantile one
+// sample low). Returns 0 when empty.
 func (h *Histogram) Quantile(q float64) uint64 {
 	if h.count == 0 {
 		return 0
@@ -76,9 +80,12 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	if q > 1 {
 		q = 1
 	}
-	target := uint64(q * float64(h.count))
+	target := uint64(math.Ceil(q * float64(h.count)))
 	if target == 0 {
 		target = 1
+	}
+	if target > h.count {
+		target = h.count
 	}
 	var cum uint64
 	for i, b := range h.buckets {

@@ -233,11 +233,11 @@ func TestPublishReplacesSource(t *testing.T) {
 func TestServeMetricsOpenMetricsEndpoint(t *testing.T) {
 	a := NewAttribution(2, 16, 1)
 	a.RecordAbort(0, 1, AbortInvalidated, 10, 1)
-	PublishOpenMetrics(func() ConflictReport {
+	PublishOpenMetrics(func() MetricsPage {
 		var meta ReportMeta
 		meta.Commits = 1
 		meta.AbortReasons[AbortInvalidated] = 1
-		return a.Report(meta)
+		return MetricsPage{Conflict: a.Report(meta)}
 	})
 	addr, shutdown, err := ServeMetrics("127.0.0.1:0")
 	if err != nil {

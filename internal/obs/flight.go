@@ -1,0 +1,150 @@
+// Flight recorder: the obs half of the anomaly-triggered post-mortem dump.
+// core runs a rolling detector off the latency recorder's windowed p99 and
+// the abort-rate window; when a tick trips a threshold (or a commit-server
+// stalls), it assembles a FlightBundle — trace-ring snapshots, the conflict
+// report, the latency report, goroutine stacks — and writes it atomically
+// to a timestamped JSON file, so "why was it slow at 3am" has an artifact
+// instead of a reproduction request.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// AnomalyDetector tracks EWMAs of the windowed p99 latency and abort rate
+// and flags ticks that spike past configurable multiples of the baseline.
+// Not safe for concurrent use; the flight-recorder goroutine owns it.
+type AnomalyDetector struct {
+	// P99Factor trips when the window's p99 exceeds factor × EWMA(p99).
+	P99Factor float64
+	// AbortRate trips when the window's abort rate exceeds both this
+	// absolute threshold and 2 × EWMA(rate) — the EWMA guard keeps a
+	// steadily contended workload from dumping every tick.
+	AbortRate float64
+	// Alpha is the EWMA smoothing weight of the newest observation.
+	Alpha float64
+
+	ewmaP99  float64
+	ewmaRate float64
+	ticks    int
+}
+
+// detectorWarmup ticks establish the baseline before anything can trip.
+const detectorWarmup = 3
+
+// NewAnomalyDetector returns a detector with the given thresholds
+// (non-positive values fall back to 3× p99 and 0.5 abort rate).
+func NewAnomalyDetector(p99Factor, abortRate float64) *AnomalyDetector {
+	if p99Factor <= 0 {
+		p99Factor = 3
+	}
+	if abortRate <= 0 {
+		abortRate = 0.5
+	}
+	return &AnomalyDetector{P99Factor: p99Factor, AbortRate: abortRate, Alpha: 0.3}
+}
+
+// Observe feeds one window (p99 in ns, abort rate in [0,1]) and returns a
+// non-empty reason if the window is anomalous against the EWMA baseline.
+// A non-positive p99 means the window carried no latency signal (e.g. too
+// few sampled transactions): the p99 check and its EWMA update are skipped
+// so empty windows don't dilute the baseline. The baselines are updated
+// after the check, from anomalous windows too — a sustained new plateau
+// stops re-triggering once the EWMA catches up.
+func (d *AnomalyDetector) Observe(p99 float64, abortRate float64) string {
+	reason := ""
+	if d.ticks >= detectorWarmup {
+		switch {
+		case p99 > 0 && d.ewmaP99 > 0 && p99 > d.P99Factor*d.ewmaP99:
+			reason = fmt.Sprintf("p99 spike: %.0fns > %.1fx ewma %.0fns", p99, d.P99Factor, d.ewmaP99)
+		case abortRate > d.AbortRate && abortRate > 2*d.ewmaRate:
+			reason = fmt.Sprintf("abort-rate spike: %.2f > %.2f (ewma %.2f)", abortRate, d.AbortRate, d.ewmaRate)
+		}
+	}
+	d.ticks++
+	if p99 > 0 {
+		d.ewmaP99 = d.Alpha*p99 + (1-d.Alpha)*d.ewmaP99
+	}
+	d.ewmaRate = d.Alpha*abortRate + (1-d.Alpha)*d.ewmaRate
+	return reason
+}
+
+// ActorTrace is one trace ring's snapshot in a flight bundle.
+type ActorTrace struct {
+	Actor   string  `json:"actor"`
+	Dropped uint64  `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// FlightBundle is the post-mortem artifact: everything the observability
+// layer knows at the moment an anomaly trips, in one parseable file.
+type FlightBundle struct {
+	Reason    string         `json:"reason"`
+	UnixNanos int64          `json:"unix_nanos"`
+	Latency   LatencyReport  `json:"latency"`
+	Conflict  ConflictReport `json:"conflict"`
+	Trace     []ActorTrace   `json:"trace"`
+	Stacks    string         `json:"stacks"`
+}
+
+// SnapshotTracer captures every ring of t into ActorTraces. Safe while
+// writers run (rings are atomic-word storage). Nil tracer -> nil.
+func SnapshotTracer(t *Tracer) []ActorTrace {
+	if t == nil {
+		return nil
+	}
+	out := make([]ActorTrace, 0, t.Actors())
+	for i := 0; i < t.Actors(); i++ {
+		r := t.Ring(i)
+		out = append(out, ActorTrace{Actor: t.ActorName(i), Dropped: r.Dropped(), Events: r.Snapshot()})
+	}
+	return out
+}
+
+// AllStacks returns every goroutine's stack, the way an aborting runtime
+// would print them. Grows the buffer until runtime.Stack fits.
+func AllStacks() string {
+	buf := make([]byte, 1<<16)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return string(buf[:n])
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+}
+
+// WriteFile writes the bundle to dir as flight-<unixnanos>.json, atomically
+// (temp file + rename), creating dir if needed. Returns the final path.
+func (b *FlightBundle) WriteFile(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("obs: flight dir: %w", err)
+	}
+	data, err := json.MarshalIndent(b, "", " ")
+	if err != nil {
+		return "", fmt.Errorf("obs: flight marshal: %w", err)
+	}
+	final := filepath.Join(dir, fmt.Sprintf("flight-%d.json", b.UnixNanos))
+	tmp, err := os.CreateTemp(dir, ".flight-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("obs: flight temp: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("obs: flight write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("obs: flight close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("obs: flight rename: %w", err)
+	}
+	return final, nil
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	httppprof "net/http/pprof"
@@ -39,24 +40,54 @@ func Publish(name string, fn func() any) {
 	cell.Store(&fn)
 }
 
-// openMetricsSource holds the current OpenMetrics report source for the
-// /metrics endpoint, swappable the same way Publish entries are.
-var openMetricsSource atomic.Pointer[func() ConflictReport]
+// MetricsPage is everything one /metrics scrape exposes: the conflict
+// report's scalar counters, the critical-path latency histograms, and the
+// commit-server phase histograms — the latter two as proper OpenMetrics
+// histogram families with cumulative le buckets.
+type MetricsPage struct {
+	Conflict ConflictReport
+	Latency  LatencyReport
+	// Server holds histogram-typed series beyond the latency report —
+	// the Stats.Server phase histograms, one NamedHistogram per
+	// (family, label set) child; families are grouped for # TYPE lines in
+	// first-appearance order.
+	Server []NamedHistogram
+}
 
-// PublishOpenMetrics sets the report source behind the /metrics endpoint.
+// WriteOpenMetrics renders the whole page (no trailing # EOF; the handler
+// appends it once).
+func (p *MetricsPage) WriteOpenMetrics(w io.Writer) {
+	p.Conflict.WriteOpenMetrics(w)
+	p.Latency.WriteOpenMetrics(w)
+	typed := map[string]bool{}
+	for i := range p.Server {
+		nh := &p.Server[i]
+		if !typed[nh.Name] {
+			typed[nh.Name] = true
+			fmt.Fprintf(w, "# TYPE %s histogram\n", nh.Name)
+		}
+		WriteOpenMetricsHistogram(w, nh.Name, nh.Labels, &nh.Hist)
+	}
+}
+
+// openMetricsSource holds the current OpenMetrics page source for the
+// /metrics endpoint, swappable the same way Publish entries are.
+var openMetricsSource atomic.Pointer[func() MetricsPage]
+
+// PublishOpenMetrics sets the page source behind the /metrics endpoint.
 // Later calls replace earlier ones (latest System wins, matching Publish).
-func PublishOpenMetrics(fn func() ConflictReport) {
+func PublishOpenMetrics(fn func() MetricsPage) {
 	openMetricsSource.Store(&fn)
 }
 
-// serveOpenMetrics renders the current report source as an OpenMetrics text
+// serveOpenMetrics renders the current page source as an OpenMetrics text
 // exposition. With no source published it serves an empty exposition rather
 // than an error, so scrapers configured before the first System come up clean.
 func serveOpenMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
 	if fn := openMetricsSource.Load(); fn != nil {
-		rep := (*fn)()
-		rep.WriteOpenMetrics(w)
+		page := (*fn)()
+		page.WriteOpenMetrics(w)
 	}
 	fmt.Fprintf(w, "# EOF\n")
 }

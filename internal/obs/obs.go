@@ -13,13 +13,16 @@
 // store, no branch misprediction on the transaction hot path.
 //
 // Concurrency model: each Ring has exactly one writer (the client thread or
-// server goroutine it belongs to). Readers (the exporters) must only run
-// after the writers have quiesced — in practice after System.Close — which
-// is also what makes the single-writer rings race-free without atomics.
+// server goroutine it belongs to) storing flat uint64 words with
+// single-writer atomics. The exporters read exact contents after the
+// writers quiesce (post System.Close); the flight recorder may Snapshot a
+// live ring at any time — concurrent snapshots can tear across an event but
+// never race.
 package obs
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/ssrg-vt/rinval/internal/padded"
@@ -200,12 +203,22 @@ type Event struct {
 // part a trace viewer is usually pointed at. All recording methods are
 // nil-receiver-safe no-ops, which is how disabled tracing costs nothing:
 // the caller holds a nil *Ring and the calls vanish into a nil check.
+//
+// Storage is flat uint64 words (eventWords per event) written with
+// single-writer atomics, so the flight recorder may Snapshot a ring while
+// its owner is mid-transaction: a concurrent snapshot can tear across
+// events (an old event half-overwritten by a new one) but never races. The
+// post-Close exporters still see exact contents, as before.
 type Ring struct {
-	_      [padded.CacheLineSize]byte
-	pos    uint64 // total events ever written; head = pos mod cap
-	events []Event
-	_      [padded.CacheLineSize]byte
+	_     [padded.CacheLineSize]byte
+	pos   uint64 // total events ever written; head = pos mod cap
+	mask  uint64 // capacity-1 (capacity is a power of two)
+	words []uint64
+	_     [padded.CacheLineSize]byte
 }
+
+// eventWords is the flat-storage footprint of one Event: TS, Dur, Kind, Arg.
+const eventWords = 4
 
 // newRing returns a ring holding the capacity rounded up to a power of two.
 func newRing(capacity int) *Ring {
@@ -213,7 +226,21 @@ func newRing(capacity int) *Ring {
 	for n < capacity {
 		n <<= 1
 	}
-	return &Ring{events: make([]Event, n)}
+	return &Ring{mask: uint64(n - 1), words: make([]uint64, n*eventWords)}
+}
+
+// cap returns the ring's event capacity.
+func (r *Ring) capacity() uint64 { return r.mask + 1 }
+
+// eventAt loads the event stored at absolute position p (mod capacity).
+func (r *Ring) eventAt(p uint64) Event {
+	i := (p & r.mask) * eventWords
+	return Event{
+		TS:   int64(atomic.LoadUint64(&r.words[i])),
+		Dur:  int64(atomic.LoadUint64(&r.words[i+1])),
+		Kind: Kind(atomic.LoadUint64(&r.words[i+2])),
+		Arg:  atomic.LoadUint64(&r.words[i+3]),
+	}
 }
 
 // Now returns the current trace timestamp, or 0 on a nil ring — so span
@@ -226,11 +253,18 @@ func (r *Ring) Now() int64 {
 	return Now()
 }
 
-// record appends one event. Zero allocation: the events slice is
-// preallocated and the write is an in-place store.
+// record appends one event. Zero allocation: the words slice is
+// preallocated and the writes are in-place atomic stores (single writer, so
+// plain atomic stores suffice — no CAS). pos is bumped last so a concurrent
+// snapshot that observes the new position also observes the event's words.
 func (r *Ring) record(ts, dur int64, k Kind, arg uint64) {
-	r.events[r.pos&uint64(len(r.events)-1)] = Event{TS: ts, Dur: dur, Kind: k, Arg: arg}
-	r.pos++
+	p := atomic.LoadUint64(&r.pos)
+	i := (p & r.mask) * eventWords
+	atomic.StoreUint64(&r.words[i], uint64(ts))
+	atomic.StoreUint64(&r.words[i+1], uint64(dur))
+	atomic.StoreUint64(&r.words[i+2], uint64(k))
+	atomic.StoreUint64(&r.words[i+3], arg)
+	atomic.StoreUint64(&r.pos, p+1)
 }
 
 // Instant records a point event at the current time.
@@ -281,10 +315,10 @@ func (r *Ring) Len() int {
 	if r == nil {
 		return 0
 	}
-	if r.pos < uint64(len(r.events)) {
-		return int(r.pos)
+	if pos := atomic.LoadUint64(&r.pos); pos < r.capacity() {
+		return int(pos)
 	}
-	return len(r.events)
+	return int(r.capacity())
 }
 
 // Dropped returns how many events were overwritten by wraparound.
@@ -292,23 +326,32 @@ func (r *Ring) Dropped() uint64 {
 	if r == nil {
 		return 0
 	}
-	if r.pos < uint64(len(r.events)) {
-		return 0
+	if pos := atomic.LoadUint64(&r.pos); pos >= r.capacity() {
+		return pos - r.capacity()
 	}
-	return r.pos - uint64(len(r.events))
+	return 0
 }
 
-// Snapshot returns the retained events oldest-first. Call only after the
-// ring's writer has quiesced.
+// Snapshot returns the retained events oldest-first. Safe to call while the
+// writer runs (the flight recorder does): events written concurrently may
+// appear torn or be missed, but the read is race-free; after the writer
+// quiesces the snapshot is exact.
 func (r *Ring) Snapshot() []Event {
-	n := r.Len()
+	if r == nil {
+		return nil
+	}
+	pos := atomic.LoadUint64(&r.pos)
+	n := pos
+	if n > r.capacity() {
+		n = r.capacity()
+	}
 	if n == 0 {
 		return nil
 	}
 	out := make([]Event, 0, n)
-	start := r.pos - uint64(n)
-	for i := 0; i < n; i++ {
-		out = append(out, r.events[(start+uint64(i))&uint64(len(r.events)-1)])
+	start := pos - n
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.eventAt(start+i))
 	}
 	return out
 }

@@ -61,8 +61,8 @@ func TestRingWraparoundKeepsNewest(t *testing.T) {
 func TestRingCapacityRoundsToPowerOfTwo(t *testing.T) {
 	for _, tc := range []struct{ ask, want int }{{1, 1}, {3, 4}, {4, 4}, {100, 128}} {
 		r := newRing(tc.ask)
-		if len(r.events) != tc.want {
-			t.Errorf("newRing(%d) capacity = %d, want %d", tc.ask, len(r.events), tc.want)
+		if int(r.capacity()) != tc.want {
+			t.Errorf("newRing(%d) capacity = %d, want %d", tc.ask, r.capacity(), tc.want)
 		}
 	}
 }

@@ -104,6 +104,21 @@ type ConflictReport = obs.ConflictReport
 // HotVar is one entry of ConflictReport's contended-variable table.
 type HotVar = obs.HotVar
 
+// LatencyReport is the critical-path latency decomposition collected when
+// Config.Latency is set: per-phase histograms and quantiles for sampled
+// client transactions (app work, retry, commit-wait, end-to-end) and for
+// every commit/invalidation-server epoch (collect, scan, inval-wait,
+// write-back, reply, plus the cross-shard lock-wait and drain phases).
+// See System.LatencyReport.
+type LatencyReport = obs.LatencyReport
+
+// LatencyPhase is one phase row of a LatencyReport.
+type LatencyPhase = obs.LatencyPhase
+
+// NamedHistogram is one exported histogram family child (name + label set +
+// data); see System.ServerPhaseHistograms.
+type NamedHistogram = obs.NamedHistogram
+
 // System is one STM instance: a global timestamp domain, a cache-aligned
 // requests array, and (for the RInval engines) the commit/invalidation
 // server goroutines.
@@ -181,6 +196,29 @@ func (s *System) Shards() int { return s.sys.Shards() }
 // per-shard phase histograms and the cross-shard-commit count. Nil for
 // engines without shard servers (everything but RInval). Call after Close.
 func (s *System) ShardServerStats() []Stats { return s.sys.ShardServerStats() }
+
+// LatencyReport returns the critical-path latency decomposition. Safe to
+// call while transactions run (the recorder's cells are single-writer
+// atomics); with Config.Latency unset the report carries Enabled=false and
+// empty phases.
+func (s *System) LatencyReport() LatencyReport { return s.sys.LatencyReport() }
+
+// ServerPhaseHistograms returns the commit-server phase histograms
+// (Stats.Server) as exportable OpenMetrics histogram children, one per
+// phase (and per shard when sharding). The underlying histograms are folded
+// at Close, so call after Close; for a live view use
+// LatencyReport's server phases instead.
+func (s *System) ServerPhaseHistograms() []NamedHistogram {
+	return s.sys.ServerPhaseHistograms()
+}
+
+// DumpFlightBundle writes a flight-recorder bundle (latency report, conflict
+// report, trace-ring snapshots, goroutine stacks) to Config.FlightDir and
+// returns the file path. Safe while transactions run; this is the same dump
+// the anomaly detector triggers, exposed for operator-initiated snapshots.
+func (s *System) DumpFlightBundle(reason string) (string, error) {
+	return s.sys.DumpFlightBundle(reason)
+}
 
 // ShardOf returns the index of the commit stream that owns v under s —
 // which commit-server serializes writes to it (always 0 when Shards == 1).
