@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet lint race bench-groupcommit bench-scan bench-conflict bench-shard bench-latency
+.PHONY: verify build test vet lint lint-github race bench-groupcommit bench-scan bench-conflict bench-shard bench-latency
 
 ## verify: the full pre-merge gate — vet, the invariant linter, build, tests,
 ## and the race detector over the packages with real concurrency.
@@ -10,9 +10,16 @@ vet:
 	$(GO) vet ./...
 
 ## lint: machine-check the STM's concurrency invariants (mixed atomic/plain
-## access, cache-line padding, *Tx escape, abort taxonomy, hot-path hygiene).
+## access, cache-line padding, *Tx escape, abort taxonomy, hot-path hygiene,
+## and the CFG/dataflow suite: lock-order, atomic-publish, hot-path-deep,
+## taxonomy-path).
 lint:
 	$(GO) run ./cmd/stmlint ./...
+
+## lint-github: same checks, emitted as GitHub Actions ::error annotations so
+## CI runs attach diagnostics to the offending lines in the diff view.
+lint-github:
+	$(GO) run ./cmd/stmlint -github ./...
 
 build:
 	$(GO) build ./...
@@ -21,7 +28,7 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race -count=1 ./internal/core/ ./stm/ ./internal/obs/ ./internal/bloom/ ./internal/padded/
+	$(GO) test -race -count=1 ./internal/core/ ./stm/ ./internal/obs/ ./internal/bloom/ ./internal/padded/ ./internal/analysis/
 
 ## bench-groupcommit: regenerate results/BENCH_group_commit.json (live mode).
 bench-groupcommit:

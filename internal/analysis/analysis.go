@@ -90,29 +90,30 @@ func checkNames() string {
 }
 
 // Run executes checks over m and returns the diagnostics sorted by position.
+// Diagnostics covered by a well-formed `//stmlint:ignore <check> <reason>`
+// annotation (same line or the line above) are dropped; malformed ignore
+// annotations are themselves diagnostics.
 func Run(m *Module, checks []*Check) []Diagnostic {
-	var diags []Diagnostic
+	ignores, diags := collectIgnores(m)
 	for _, c := range checks {
 		c := c
 		report := func(pos token.Pos, format string, args ...any) {
-			diags = append(diags, Diagnostic{
+			d := Diagnostic{
 				Pos:     m.Fset.Position(pos),
 				Check:   c.Name,
 				Message: fmt.Sprintf(format, args...),
-			})
+			}
+			if ignores.suppressed(d) {
+				return
+			}
+			diags = append(diags, d)
 		}
 		c.Run(m, report)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
+		if a.Pos.Filename != b.Pos.Filename || a.Pos.Line != b.Pos.Line || a.Pos.Column != b.Pos.Column {
+			return posLess(a.Pos, b.Pos)
 		}
 		return a.Check < b.Check
 	})

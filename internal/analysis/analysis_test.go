@@ -14,7 +14,8 @@ import (
 // TestRegistry pins the check suite: a check whose init registration is
 // dropped would otherwise silently stop running everywhere.
 func TestRegistry(t *testing.T) {
-	want := []string{"abort-taxonomy", "hot-path", "mixed-access", "padding", "tx-escape"}
+	want := []string{"abort-taxonomy", "atomic-publish", "hot-path", "hot-path-deep",
+		"lock-order", "mixed-access", "padding", "taxonomy-path", "tx-escape"}
 	var got []string
 	for _, c := range analysis.AllChecks() {
 		got = append(got, c.Name)

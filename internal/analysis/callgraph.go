@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the module-wide static call graph: one node per function or
+// method declared in the module, with an edge per direct (statically
+// resolvable) call site. Calls through interfaces, function-typed variables,
+// and the builtins are not edges — the resolvable-call boundary every
+// interprocedural check in this package documents. Call sites inside
+// function literals are attributed to the enclosing declared function:
+// a literal runs on the same goroutine unless spawned, and the hot-path
+// propagation wants the closure's work charged to its creator.
+type CallGraph struct {
+	// Callees maps a caller to its unique callees, sorted by position of
+	// first call site for determinism.
+	Callees map[*types.Func][]CallEdge
+}
+
+// CallEdge is one caller->callee relation, positioned at the first call site.
+type CallEdge struct {
+	Callee *types.Func
+	Site   token.Pos
+}
+
+// BuildCallGraph walks every declared function body in the module once.
+func BuildCallGraph(m *Module) *CallGraph {
+	cg := &CallGraph{Callees: make(map[*types.Func][]CallEdge)}
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if caller == nil {
+					continue
+				}
+				seen := make(map[*types.Func]bool)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := calleeFunc(p.Info, call)
+					if callee == nil || callee == caller || seen[callee] {
+						return true
+					}
+					seen[callee] = true
+					cg.Callees[caller] = append(cg.Callees[caller],
+						CallEdge{Callee: callee, Site: call.Pos()})
+					return true
+				})
+				sort.Slice(cg.Callees[caller], func(i, j int) bool {
+					return cg.Callees[caller][i].Site < cg.Callees[caller][j].Site
+				})
+			}
+		}
+	}
+	return cg
+}

@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The atomic-publish check guards the STM's publication protocol. A slot (or
+// any shared record) is built up with plain stores while it is still private,
+// then *published* with one atomic release store — the ALIVE status-word
+// store in begin(), the killer-descriptor store before the doom CAS. From
+// that instant other goroutines may observe the record, and every subsequent
+// access to its atomic state must go through the atomics; a plain store after
+// the publication point is a data race that the happens-before edge of the
+// publishing store does nothing to excuse.
+//
+// mixed-access (the flow-insensitive sibling) cannot express this: it either
+// flags the benign pre-publication initialization too, or must exempt whole
+// patterns. This check is path-sensitive over the CFG: a plain access to an
+// atomic field is reported only when a publication of the same base object
+// precedes it on some path.
+//
+// Definitions:
+//
+//   - An *atomic field* is one whose address is passed to sync/atomic
+//     anywhere in the module (the mixed-access rule), or whose type is an
+//     atomic wrapper — a named type whose pointer method set includes both
+//     Load and Store (internal/padded's types, sync/atomic's value types,
+//     and fixture-local equivalents all qualify).
+//   - A *publication point* is an atomic release store to an atomic field of
+//     base expression X: a Store/Swap/CompareAndSwap (or CAS) wrapper-method
+//     call on X.f, or a sync/atomic Store*/Swap*/CompareAndSwap* call taking
+//     &X.f. Load and Add do not publish.
+//   - After X is published, a plain (non-atomic) read or write of *any*
+//     atomic field of X is reported. Before publication, plain access is
+//     initialization and is allowed — that is the point of the check.
+//
+// Soundness boundary (DESIGN.md §13): bases are matched by canonical
+// expression text within one function. Publication does not propagate to
+// callees, and an alias (`sl := tx.slot`) is a different base. Both limits
+// under-approximate; the check never cries wolf on a path where it cannot
+// show the publication happened first.
+func init() {
+	RegisterCheck(&Check{
+		Name: "atomic-publish",
+		Doc:  "no plain access to an object's atomic fields after the atomic store that publishes it",
+		Run:  runAtomicPublish,
+	})
+}
+
+func runAtomicPublish(m *Module, report ReportFunc) {
+	ap := &atomicPublishChecker{
+		m:            m,
+		report:       report,
+		atomicFields: make(map[*types.Var]bool),
+		atomicUses:   make(map[*ast.SelectorExpr]bool),
+		wrapperCache: make(map[*types.Named]bool),
+	}
+	ap.collectAtomicFields()
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					ap.checkFunc(p, fd)
+				}
+			}
+		}
+	}
+}
+
+type atomicPublishChecker struct {
+	m      *Module
+	report ReportFunc
+	// atomicFields marks struct fields that carry atomic state.
+	atomicFields map[*types.Var]bool
+	// atomicUses marks selector nodes consumed by an atomic operation (the
+	// receiver of a wrapper-method call, the &arg of a sync/atomic call) —
+	// these are not plain accesses.
+	atomicUses map[*ast.SelectorExpr]bool
+	// wrapperCache memoizes the atomic-wrapper test per named type.
+	wrapperCache map[*types.Named]bool
+}
+
+// atomicMethodNames are the wrapper methods treated as atomic operations.
+var atomicMethodNames = map[string]bool{
+	"Load": true, "Store": true, "Add": true, "Swap": true,
+	"CompareAndSwap": true, "CAS": true, "And": true, "Or": true,
+}
+
+// publishingMethod reports whether an atomic operation name is a release
+// store (publishes its object) rather than a read or RMW-increment.
+func publishingMethod(name string) bool {
+	return name == "Store" || name == "Swap" ||
+		strings.HasPrefix(name, "CompareAndSwap") || name == "CAS" ||
+		strings.HasPrefix(name, "Store") || strings.HasPrefix(name, "Swap")
+}
+
+// isAtomicWrapper reports whether t is a named type whose pointer method set
+// has both Load and Store — the shape of every atomic box (padded.Uint64,
+// atomic.Pointer[T], ...).
+func (ap *atomicPublishChecker) isAtomicWrapper(t types.Type) bool {
+	n := namedOrigin(t)
+	if n == nil {
+		return false
+	}
+	if v, ok := ap.wrapperCache[n]; ok {
+		return v
+	}
+	ms := types.NewMethodSet(types.NewPointer(n))
+	hasLoad, hasStore := false, false
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Load":
+			hasLoad = true
+		case "Store":
+			hasStore = true
+		}
+	}
+	ok := hasLoad && hasStore
+	ap.wrapperCache[n] = ok
+	return ok
+}
+
+// collectAtomicFields runs the module-wide pass: which fields are atomic, and
+// which selector nodes are atomic uses.
+func (ap *atomicPublishChecker) collectAtomicFields() {
+	for _, p := range ap.m.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				// sync/atomic function taking &X.f.
+				if isAtomicCall(p.Info, call) {
+					for _, arg := range call.Args {
+						u, ok := unwrap(arg).(*ast.UnaryExpr)
+						if !ok || u.Op != token.AND {
+							continue
+						}
+						if fld, sel := fieldOf(p.Info, u.X); fld != nil {
+							ap.atomicFields[fld] = true
+							ap.atomicUses[sel] = true
+						}
+					}
+					return true
+				}
+				// Wrapper-method call X.f.Store(v).
+				if fld, sel := ap.wrapperMethodTarget(p, call); fld != nil {
+					ap.atomicFields[fld] = true
+					ap.atomicUses[sel] = true
+				}
+				return true
+			})
+		}
+	}
+}
+
+// wrapperMethodTarget resolves call as an atomic-method call on a
+// wrapper-typed struct field, returning the field and its selector node
+// (nil, nil otherwise).
+func (ap *atomicPublishChecker) wrapperMethodTarget(p *Package, call *ast.CallExpr) (*types.Var, *ast.SelectorExpr) {
+	fun, ok := unwrap(call.Fun).(*ast.SelectorExpr)
+	if !ok || !atomicMethodNames[fun.Sel.Name] {
+		return nil, nil
+	}
+	if s, ok := p.Info.Selections[fun]; !ok || s.Kind() != types.MethodVal {
+		return nil, nil
+	}
+	fld, sel := fieldOf(p.Info, fun.X)
+	if fld == nil || !ap.isAtomicWrapper(fld.Type()) {
+		return nil, nil
+	}
+	return fld, sel
+}
+
+// pubFact is the dataflow state: the canonical base keys published so far on
+// this path, sorted and "|"-joined for value equality.
+type pubFact string
+
+func (f pubFact) has(key string) bool {
+	for _, k := range splitKeys(string(f)) {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+func (f pubFact) add(key string) pubFact {
+	if f.has(key) {
+		return f
+	}
+	ks := append(splitKeys(string(f)), key)
+	sort.Strings(ks)
+	return pubFact(joinKeys(ks))
+}
+
+func (f pubFact) union(g pubFact) pubFact {
+	out := f
+	for _, k := range splitKeys(string(g)) {
+		out = out.add(k)
+	}
+	return out
+}
+
+// checkFunc analyzes one function. Functions with no publication point are
+// skipped: the fact never becomes non-empty.
+func (ap *atomicPublishChecker) checkFunc(p *Package, fd *ast.FuncDecl) {
+	pubPos := make(map[string]token.Pos) // base key -> first publication site
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if base, pos := ap.publicationOf(p, call); base != "" {
+				if _, seen := pubPos[base]; !seen {
+					pubPos[base] = pos
+				}
+			}
+		}
+		return true
+	})
+	if len(pubPos) == 0 {
+		return
+	}
+
+	g := BuildCFG(fd)
+	transfer := func(f Fact, n ast.Node, report ReportFunc) Fact {
+		fact := f.(pubFact)
+		inspectLeaf(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.CallExpr:
+				if base, _ := ap.publicationOf(p, x); base != "" {
+					fact = fact.add(base)
+				}
+			case *ast.SelectorExpr:
+				if ap.atomicUses[x] {
+					return true
+				}
+				s, ok := p.Info.Selections[x]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				fld, _ := s.Obj().(*types.Var)
+				// A field is atomic by observed use (pass 1) or by type: a
+				// wrapper-typed field is atomic state even before its first
+				// atomic call is written.
+				if !ap.atomicFields[fld] && !ap.isAtomicWrapper(fld.Type()) {
+					return true
+				}
+				base := exprKey(x.X)
+				if fact.has(base) && report != nil {
+					first := ap.m.Fset.Position(pubPos[base])
+					report(x.Pos(),
+						"plain access to atomic field %s.%s after %s was published by the atomic store at %s:%d; post-publication access must be atomic",
+						recvTypeName(s.Recv()), fld.Name(), base, shortFile(first.Filename), first.Line)
+				}
+			}
+			return true
+		})
+		return fact
+	}
+
+	in := Forward(g, Flow{
+		Entry:    pubFact(""),
+		Transfer: func(f Fact, n ast.Node) Fact { return transfer(f, n, nil) },
+		Merge:    func(a, b Fact) Fact { return a.(pubFact).union(b.(pubFact)) },
+		Equal:    func(a, b Fact) bool { return a == b },
+	})
+	reported := make(map[token.Pos]bool)
+	dedupe := func(pos token.Pos, format string, args ...any) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		ap.report(pos, format, args...)
+	}
+	for _, b := range g.Reachable() {
+		entry, ok := in[b]
+		if !ok {
+			continue
+		}
+		f := entry.(pubFact)
+		for _, n := range b.Nodes {
+			f = transfer(f, n, dedupe).(pubFact)
+		}
+	}
+}
+
+// publicationOf classifies call as a publication point, returning the
+// canonical base key and the site ("" when it is not one).
+func (ap *atomicPublishChecker) publicationOf(p *Package, call *ast.CallExpr) (string, token.Pos) {
+	// sync/atomic StoreX/SwapX/CompareAndSwapX(&X.f, ...).
+	if isAtomicCall(p.Info, call) {
+		fn := calleeFunc(p.Info, call)
+		if fn == nil || !publishingMethod(fn.Name()) {
+			return "", token.NoPos
+		}
+		for _, arg := range call.Args {
+			u, ok := unwrap(arg).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				continue
+			}
+			if fld, sel := fieldOf(p.Info, u.X); fld != nil && ap.atomicFields[fld] {
+				return exprKey(sel.X), call.Pos()
+			}
+		}
+		return "", token.NoPos
+	}
+	// Wrapper method X.f.Store(v) / X.f.CompareAndSwap(old, new).
+	fun, ok := unwrap(call.Fun).(*ast.SelectorExpr)
+	if !ok || !publishingMethod(fun.Sel.Name) {
+		return "", token.NoPos
+	}
+	if fld, sel := ap.wrapperMethodTarget(p, call); fld != nil {
+		_ = fld
+		return exprKey(sel.X), call.Pos()
+	}
+	return "", token.NoPos
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The hot-path-deep check closes the loophole hot-path deliberately leaves
+// open: hot-path is lexical, so an annotated fast path stays clean while a
+// helper it calls quietly grows a time.Now or a map allocation. This check
+// propagates `//stm:hotpath` through the module call graph — every function
+// reachable from an annotated root via direct calls is *transitively hot* —
+// and applies the same banned-operation rules (time.Now/Since, fmt, map
+// allocation, sync mutexes) to the transitive bodies. Diagnostics carry the
+// call chain from the annotated root so the reader sees why an innocuous
+// helper is on the critical path.
+//
+// Directly annotated bodies are not re-checked (hot-path owns them). The
+// reachable set follows only statically resolvable calls into functions
+// declared in this module (the call-graph boundary): calls through interfaces
+// or function-typed variables — including the config-gated clock variable,
+// the sanctioned slow-call escape hatch — do not propagate hotness.
+//
+// Deliberate hot-path costs (e.g. the write-set's amortized map build) are
+// suppressed with an audited `//stmlint:ignore hot-path-deep <reason>`
+// rather than by un-annotating the root.
+func init() {
+	RegisterCheck(&Check{
+		Name: "hot-path-deep",
+		Doc:  "functions transitively reachable from //stm:hotpath roots must obey the hot-path rules",
+		Run:  runHotPathDeep,
+	})
+}
+
+func runHotPathDeep(m *Module, report ReportFunc) {
+	cg := BuildCallGraph(m)
+
+	annotated := make(map[*types.Func]bool)
+	var roots []*types.Func
+	for fn, fd := range m.FuncDecls {
+		if fd.Body != nil && funcDirective(fd, "hotpath") {
+			annotated[fn] = true
+			roots = append(roots, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return m.FuncDecls[roots[i]].Pos() < m.FuncDecls[roots[j]].Pos()
+	})
+
+	// BFS from the annotated roots; parent edges reconstruct the shortest
+	// hot call chain for diagnostics.
+	parent := make(map[*types.Func]*types.Func)
+	seen := make(map[*types.Func]bool)
+	var order []*types.Func // reached functions in BFS (deterministic) order
+	queue := append([]*types.Func(nil), roots...)
+	for _, r := range roots {
+		seen[r] = true
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range cg.Callees[cur] {
+			fd := m.FuncDecls[e.Callee]
+			if fd == nil || fd.Body == nil || seen[e.Callee] {
+				continue
+			}
+			seen[e.Callee] = true
+			parent[e.Callee] = cur
+			order = append(order, e.Callee)
+			queue = append(queue, e.Callee)
+		}
+	}
+
+	for _, fn := range order {
+		if annotated[fn] {
+			continue // hot-path already checks the annotated body itself
+		}
+		fd := m.FuncDecls[fn]
+		p := m.PkgForPos(fd.Pos())
+		if p == nil {
+			continue
+		}
+		chain := hotChain(m, fn, parent)
+		chained := func(pos token.Pos, format string, args ...any) {
+			report(pos, format+" (hot via %s)", append(args, chain)...)
+		}
+		checkHotBody(p, fd, chained)
+	}
+}
+
+// hotChain renders the call chain root -> ... -> fn that makes fn hot.
+func hotChain(m *Module, fn *types.Func, parent map[*types.Func]*types.Func) string {
+	var names []string
+	for f := fn; f != nil; f = parent[f] {
+		names = append(names, funcName(m.FuncDecls[f]))
+		if parent[f] == nil {
+			break
+		}
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The taxonomy-path check is the path-sensitive successor to abort-taxonomy.
+// The older check excuses a conflict exit when a `.reason = ...` assignment
+// merely *textually precedes* it in the function — so an assignment inside
+// one branch excuses a bare `return false` in a sibling branch that no
+// execution path connects it to. This check runs the same conflict-exit
+// definitions over the function's CFG with the fact "an abort reason has
+// been recorded on every path reaching this point" (merge = AND): a conflict
+// exit is clean only when reason recording dominates it.
+//
+// Scope and exit definitions are shared with abort-taxonomy (packages
+// declaring the unexported `engine` interface; conflict exits are
+// constant-false returns of implementers' read/commit methods and any
+// panic(conflictSignal{})). Recording is an assignment to a `.reason` field
+// or a call whose callee — transitively, within the module, via the
+// abort-taxonomy may-set summary — performs one. The summary is a
+// may-analysis, so a delegating call marks all its successor paths recorded
+// even when the callee records only on its failure branch; that
+// over-approximation is inherited deliberately (DESIGN.md §13) and keeps the
+// delegation idiom (`if !e.revalidate(tx) { return false }`) clean.
+func init() {
+	RegisterCheck(&Check{
+		Name: "taxonomy-path",
+		Doc:  "every CFG path into an engine conflict exit must record tx.reason first",
+		Run:  runTaxonomyPath,
+	})
+}
+
+func runTaxonomyPath(m *Module, report ReportFunc) {
+	for _, p := range m.Pkgs {
+		iface := engineInterface(p)
+		if iface == nil {
+			continue
+		}
+		tc := &taxonomyChecker{m: m, p: p, iface: iface, report: report,
+			setsReason: make(map[*types.Func]bool)}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkTaxonomyPaths(tc, fd)
+			}
+		}
+	}
+}
+
+func checkTaxonomyPaths(tc *taxonomyChecker, fd *ast.FuncDecl) {
+	isEngine := tc.isEngineConflictMethod(fd)
+
+	// Only analyze functions that contain a conflict exit at all.
+	hasExit := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if isEngine && tc.isConflictReturn(n) {
+				hasExit = true
+			}
+		case *ast.CallExpr:
+			if tc.isConflictPanic(n) {
+				hasExit = true
+			}
+		}
+		return !hasExit
+	})
+	if !hasExit {
+		return
+	}
+
+	// transfer: once a node records a reason (directly or by delegation),
+	// the path is satisfied from there on.
+	transfer := func(f Fact, n ast.Node) Fact {
+		recorded := f.(bool)
+		if recorded {
+			return true
+		}
+		inspectLeaf(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					if sel, ok := unwrap(lhs).(*ast.SelectorExpr); ok && sel.Sel.Name == "reason" {
+						recorded = true
+					}
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(tc.p.Info, x); fn != nil &&
+					(tc.isEngineIfaceMethod(fn) || tc.fnSetsReason(fn, 0)) {
+					recorded = true
+				}
+			}
+			return true
+		})
+		return recorded
+	}
+
+	g := BuildCFG(fd)
+	in := Forward(g, Flow{
+		Entry:    false,
+		Transfer: transfer,
+		// A conflict exit needs the reason on EVERY inbound path.
+		Merge: func(a, b Fact) Fact { return a.(bool) && b.(bool) },
+		Equal: func(a, b Fact) bool { return a == b },
+	})
+
+	for _, b := range g.Reachable() {
+		entry, ok := in[b]
+		if !ok {
+			continue
+		}
+		recorded := entry.(bool)
+		for _, n := range b.Nodes {
+			// A call inside the exit statement itself (e.g. `return e.fail(tx)`)
+			// runs before control leaves, so apply the node's effect first.
+			recorded = transfer(recorded, n).(bool)
+			if recorded {
+				continue
+			}
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				if isEngine && tc.isConflictReturn(n) {
+					tc.report(n.Pos(),
+						"conflict exit reachable without tx.reason: a path into this return false in %s.%s records no abort reason",
+						recvName(fd), fd.Name.Name)
+				}
+			case *ast.ExprStmt:
+				if call, ok := unwrap(n.X).(*ast.CallExpr); ok && tc.isConflictPanic(call) {
+					tc.report(n.Pos(),
+						"conflictSignal reachable without tx.reason: a path into this panic in %s records no abort reason",
+						fd.Name.Name)
+				}
+			}
+		}
+	}
+}

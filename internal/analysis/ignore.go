@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// This file implements the audited suppression annotation:
+//
+//	//stmlint:ignore <check> <reason>
+//
+// placed on the flagged line or the line immediately above it. The check
+// name must be a registered check (or "all"), and the reason is mandatory —
+// an ignore without a reason is itself reported, so every suppression in the
+// tree carries its justification. The annotation exists for true negatives a
+// checker cannot prove (e.g. an amortized allocation a hot path deliberately
+// keeps); weakening a check to admit one call site is never the right fix.
+
+const ignorePrefix = "//stmlint:ignore"
+
+// ignoreKey identifies one suppressed (file, line, check) coordinate.
+type ignoreKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// ignoreSet records every well-formed ignore annotation in the module.
+type ignoreSet map[ignoreKey]bool
+
+// collectIgnores scans all comments of the module. Malformed annotations
+// (unknown check, missing reason) are reported as diagnostics of the
+// pseudo-check "stmlint" so they fail the lint run instead of silently
+// suppressing nothing.
+func collectIgnores(m *Module) (ignoreSet, []Diagnostic) {
+	known := make(map[string]bool)
+	for _, c := range AllChecks() {
+		known[c.Name] = true
+	}
+	set := make(ignoreSet)
+	var bad []Diagnostic
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+					if !ok {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) == 0 || (fields[0] != "all" && !known[fields[0]]) {
+						bad = append(bad, Diagnostic{Pos: pos, Check: "stmlint",
+							Message: "malformed //stmlint:ignore: first word must name a registered check (or \"all\")"})
+						continue
+					}
+					if len(fields) < 2 {
+						bad = append(bad, Diagnostic{Pos: pos, Check: "stmlint",
+							Message: "//stmlint:ignore " + fields[0] + " requires a reason; suppressions must be audited"})
+						continue
+					}
+					set[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// suppressed reports whether d is covered by an ignore on its own line or
+// the line directly above.
+func (s ignoreSet) suppressed(d Diagnostic) bool {
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if s[ignoreKey{d.Pos.Filename, line, d.Check}] ||
+			s[ignoreKey{d.Pos.Filename, line, "all"}] {
+			return true
+		}
+	}
+	return false
+}
+
+// posLess orders positions for the deterministic diagnostic sort.
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}

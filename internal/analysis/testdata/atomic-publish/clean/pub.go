@@ -1,0 +1,27 @@
+// The sanctioned lifecycle: build the slot up with plain stores while it is
+// private, publish it with one atomic release store, and touch its atomic
+// state only atomically from then on.
+package pub
+
+import "sync/atomic"
+
+// Box is the wrapper shape (pointer method set has Load and Store), like
+// internal/padded's types.
+type Box struct{ v uint64 }
+
+func (b *Box) Load() uint64             { return atomic.LoadUint64(&b.v) }
+func (b *Box) Store(x uint64)           { atomic.StoreUint64(&b.v, x) }
+func (b *Box) CAS(old, new uint64) bool { return atomic.CompareAndSwapUint64(&b.v, old, new) }
+
+type slot struct {
+	status Box
+	killer Box
+}
+
+func initAndPublish(s *slot) {
+	s.status = Box{} // plain initialization before publication is the point
+	s.killer = Box{}
+	s.status.Store(1) // publication: the slot is visible from here on
+	_ = s.killer.Load()
+	s.status.Store(2)
+}

@@ -1,0 +1,32 @@
+// Plain stores after the publication point: the release store made the
+// object visible, so the later plain writes race with every reader.
+package pub
+
+import "sync/atomic"
+
+type Box struct{ v uint64 }
+
+func (b *Box) Load() uint64   { return atomic.LoadUint64(&b.v) }
+func (b *Box) Store(x uint64) { atomic.StoreUint64(&b.v, x) }
+
+type slot struct {
+	status Box
+	killer Box
+}
+
+func wrapperStoreThenPlain(s *slot) {
+	s.status.Store(1) // publication
+	s.killer = Box{}  // want atomic-publish
+}
+
+type rec struct {
+	state uint64
+}
+
+func rawStoreThenPlain(r *rec) {
+	r.state = 0 // initialization: allowed
+	atomic.StoreUint64(&r.state, 1)
+	if atomic.LoadUint64(&r.state) == 1 {
+		r.state = 9 // want atomic-publish
+	}
+}

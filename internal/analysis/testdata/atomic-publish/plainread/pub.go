@@ -1,0 +1,24 @@
+// A plain read (struct copy) of atomic state after the object was published
+// by a CAS: the copy tears against concurrent atomic stores.
+package pub
+
+import "sync/atomic"
+
+type Box struct{ v uint64 }
+
+func (b *Box) Load() uint64             { return atomic.LoadUint64(&b.v) }
+func (b *Box) Store(x uint64)           { atomic.StoreUint64(&b.v, x) }
+func (b *Box) CAS(old, new uint64) bool { return atomic.CompareAndSwapUint64(&b.v, old, new) }
+
+type slot struct {
+	status Box
+	killer Box
+}
+
+func doomThenSnapshot(s *slot) uint64 {
+	if s.status.CAS(1, 2) { // publication
+		snapshot := s.killer // want atomic-publish
+		return snapshot.v
+	}
+	return 0
+}

@@ -1,0 +1,14 @@
+// A hot root whose helpers stay within the rules; the fmt call lives in a
+// function the hot paths never reach.
+package hot
+
+import "fmt"
+
+//stm:hotpath
+func read() uint64 { return index(7) }
+
+func index(i uint64) uint64 { return mix(i) * 2 }
+
+func mix(i uint64) uint64 { return i ^ (i >> 33) }
+
+func report() { fmt.Println(read()) } // cold caller: not reachable FROM a root

@@ -1,0 +1,24 @@
+// A map allocation and a mutex acquisition hiding in helpers of an
+// annotated commit path.
+package hot
+
+import "sync"
+
+var mu sync.Mutex
+
+//stm:hotpath
+func commit() {
+	rebuild()
+	guard()
+}
+
+func rebuild() {
+	m := make(map[int]int) // want hot-path-deep
+	m[1] = 1
+	_ = m
+}
+
+func guard() {
+	mu.Lock()   // want hot-path-deep
+	mu.Unlock() // want hot-path-deep
+}

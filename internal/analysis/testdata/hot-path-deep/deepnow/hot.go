@@ -1,0 +1,14 @@
+// A clock read two calls below the annotated frontier: the lexical hot-path
+// check cannot see it, the transitive one must.
+package hot
+
+import "time"
+
+//stm:hotpath
+func read() int64 { return stamp() }
+
+func stamp() int64 { return tick() }
+
+func tick() int64 {
+	return time.Now().UnixNano() // want hot-path-deep
+}

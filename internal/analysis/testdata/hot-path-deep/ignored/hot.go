@@ -1,0 +1,14 @@
+// An audited suppression: the helper's map build is a deliberate amortized
+// cost, recorded with a reasoned //stmlint:ignore instead of un-annotating
+// the root or weakening the check.
+package hot
+
+//stm:hotpath
+func commit() { rebuild() }
+
+func rebuild() {
+	//stmlint:ignore hot-path-deep amortized one-time index build; repaid by O(1) lookups
+	m := make(map[int]int)
+	m[1] = 1
+	_ = m
+}

@@ -1,0 +1,47 @@
+// The disciplined shapes: ascending constant acquisition with descending
+// release, the sanctioned ascending-mask batch idiom paired with a bulk
+// release helper, and a deferred release covering every exit path.
+package locks
+
+import "math/bits"
+
+func lockStream(i int)   {}
+func unlockStream(i int) {}
+
+// unlockStreamsDesc is the bulk-release helper shape: unlockStream in a
+// loop, no acquisitions. Callers discharge their whole held set through it.
+func unlockStreamsDesc(mask uint64) {
+	for mask != 0 {
+		i := 63 - bits.LeadingZeros64(mask)
+		unlockStream(i)
+		mask &^= 1 << uint(i)
+	}
+}
+
+func pairAscending() {
+	lockStream(0)
+	lockStream(1)
+	work()
+	unlockStream(1)
+	unlockStream(0)
+}
+
+func maskBatch(touched uint64) {
+	for m := touched; m != 0; m &= m - 1 {
+		lockStream(bits.TrailingZeros64(m))
+	}
+	work()
+	unlockStreamsDesc(touched)
+}
+
+func deferredRelease(i int, fail bool) bool {
+	lockStream(i)
+	defer unlockStream(i)
+	if fail {
+		return false // released by the defer
+	}
+	work()
+	return true
+}
+
+func work() {}

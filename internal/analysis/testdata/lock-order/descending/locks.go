@@ -1,0 +1,22 @@
+// The planted deadlock: two clients acquiring the same pair of stream locks
+// in opposite orders is the classic ABBA hang, and a release below the top
+// of the acquisition stack breaks the descending-release half of the
+// handshake contract.
+package locks
+
+func lockStream(i int)   {}
+func unlockStream(i int) {}
+
+func badAcquireOrder() {
+	lockStream(2)
+	lockStream(1) // want lock-order
+	unlockStream(1)
+	unlockStream(2)
+}
+
+func badReleaseOrder() {
+	lockStream(1)
+	lockStream(2)
+	unlockStream(1) // want lock-order
+	unlockStream(2)
+}

@@ -1,0 +1,23 @@
+// Leaked locks: an early error return and a panic that exit the function
+// with a stream lock still held, deadlocking the next epoch's handshake.
+package locks
+
+func lockStream(i int)   {}
+func unlockStream(i int) {}
+
+func leakyEarlyReturn(conflict bool) bool {
+	lockStream(1)
+	if conflict {
+		return false // want lock-order
+	}
+	unlockStream(1)
+	return true
+}
+
+func leakyPanic(broken bool) {
+	lockStream(3)
+	if broken {
+		panic("invariant") // want lock-order
+	}
+	unlockStream(3)
+}

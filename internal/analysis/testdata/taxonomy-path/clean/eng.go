@@ -1,0 +1,53 @@
+// Every path into a conflict exit records its reason first: directly in the
+// failing branch, or by delegating to a helper that records on its own
+// failure path (the may-set summary keeps the delegation idiom clean).
+package eng
+
+type Tx struct {
+	reason int
+}
+
+type conflictSignal struct{}
+
+type engine interface {
+	read(tx *Tx) (int, bool)
+	commit(tx *Tx) bool
+}
+
+type impl struct{}
+
+func (e *impl) read(tx *Tx) (int, bool) {
+	if staleEpoch() {
+		tx.reason = 1
+		return 0, false
+	}
+	if !e.revalidate(tx) {
+		return 0, false // revalidate recorded the reason
+	}
+	return 1, true
+}
+
+func (e *impl) commit(tx *Tx) bool {
+	if doomed() {
+		tx.reason = 2
+		return false
+	}
+	return true
+}
+
+func (e *impl) revalidate(tx *Tx) bool {
+	if doomed() {
+		tx.reason = 3
+		return false
+	}
+	return true
+}
+
+func raise(tx *Tx) {
+	tx.reason = 4
+	panic(conflictSignal{})
+}
+
+func staleEpoch() bool { return false }
+
+func doomed() bool { return false }

@@ -1,0 +1,42 @@
+// A conflictSignal raised with the reason recorded on only one of the two
+// inbound paths: the skip-branch reaches the panic with whatever reason the
+// previous attempt left behind.
+package eng
+
+type Tx struct {
+	reason int
+}
+
+type conflictSignal struct{}
+
+type engine interface {
+	read(tx *Tx) (int, bool)
+	commit(tx *Tx) bool
+}
+
+type impl struct{}
+
+func (e *impl) read(tx *Tx) (int, bool) {
+	if doomed() {
+		tx.reason = 1
+		return 0, false
+	}
+	return 1, true
+}
+
+func (e *impl) commit(tx *Tx) bool {
+	if doomed() {
+		tx.reason = 2
+		return false
+	}
+	return true
+}
+
+func scanAbort(tx *Tx, sampled bool) {
+	if sampled {
+		tx.reason = 3
+	}
+	panic(conflictSignal{}) // want taxonomy-path
+}
+
+func doomed() bool { return false }

@@ -96,6 +96,7 @@ func (ws *writeSet) put(v *Var, val any) {
 	ws.entries = append(ws.entries, writeEntry{v: v, b: &box{v: val}})
 	ws.bf.Add(v.id)
 	if len(ws.entries) > wsetMapThreshold {
+		//stmlint:ignore hot-path-deep amortized one-time index build above the threshold; O(1) lookups from then on repay the allocation
 		ws.idx = make(map[*Var]int, 2*len(ws.entries))
 		for i, e := range ws.entries {
 			ws.idx[e.v] = i

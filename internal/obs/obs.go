@@ -187,6 +187,8 @@ var base = time.Now()
 
 // Now returns the current trace timestamp (nanoseconds since process start,
 // monotonic). Safe to call from any goroutine; costs one clock read.
+//
+//stmlint:ignore hot-path-deep Now IS the trace clock; hot callers reach it only behind the attribution/tracing enable gates
 func Now() int64 { return int64(time.Since(base)) }
 
 // Event is one recorded lifecycle event. 32 bytes, so a default-capacity
