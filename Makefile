@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet lint lint-github race bench-groupcommit bench-scan bench-conflict bench-shard bench-latency
+.PHONY: verify build test vet lint lint-github race bench-groupcommit bench-scan bench-conflict bench-shard bench-latency bench-mvro
 
 ## verify: the full pre-merge gate — vet, the invariant linter, build, tests,
 ## and the race detector over the packages with real concurrency.
@@ -58,3 +58,9 @@ bench-shard:
 ## this target is sized for a CI smoke run.
 bench-latency:
 	$(GO) run ./cmd/rinval-bench -exp latencyslo -mode live -iters 300
+
+## bench-mvro: short-mode multi-version read-only sweep (read-ratio x clients
+## x Config.Versions) into results/BENCH_mv_readonly.json. The checked-in
+## report uses -duration 150ms; this target is sized for a CI smoke run.
+bench-mvro:
+	$(GO) run ./cmd/rinval-bench -exp mvreadonly -mode live -duration 40ms

@@ -20,6 +20,7 @@
 //	rinval-bench -exp invalscan -mode live -out results/BENCH_inval_scan.json
 //	rinval-bench -exp conflict -mode live -out results/BENCH_conflict_attr.json
 //	rinval-bench -exp shardsweep -out results/BENCH_shard_sweep.json
+//	rinval-bench -exp mvreadonly -mode live -out results/BENCH_mv_readonly.json
 //	rinval-bench -exp fig7a -mode live -trace out.json   # Perfetto lifecycle trace
 //	rinval-bench -exp fig7a -mode live -metrics :8080    # expvar + pprof endpoint
 //
@@ -62,6 +63,7 @@ var validExps = []expDesc{
 	{"invalscan", "invalidation-scan sweep: flat vs two-level (live only)"},
 	{"conflict", "conflict attribution: FP rate, hot-var skew, wasted work (live only)"},
 	{"shardsweep", "sharded commit streams: throughput vs Config.Shards (sim scaling + live parity)"},
+	{"mvreadonly", "multi-version read-only sweep: read-ratio x clients x Config.Versions (live only)"},
 }
 
 type expDesc struct{ name, what string }
@@ -148,6 +150,12 @@ func main() {
 	}
 	if *exp == "shardsweep" {
 		if err := runShardSweep(*out, *iters, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *exp == "mvreadonly" {
+		if err := runMVReadOnly(*mode, *out, *duration, *seed); err != nil {
 			fatal(err)
 		}
 		return
@@ -439,6 +447,41 @@ func runShardSweep(out string, iters int, seed uint64) error {
 		bench.ShardSweepOpts{
 			Iters: iters,
 			Seed:  seed,
+		})
+	if err != nil {
+		return err
+	}
+	rep.Format(os.Stdout)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runMVReadOnly sweeps read-ratio x clients x Config.Versions with dedicated
+// reader and writer clients and writes the JSON report consumed by the
+// acceptance checks: at every Versions>0 point the reader threads' abort
+// count and the conflict matrix's read-victim rows must be zero, and at
+// 90% reads / 64 clients the snapshot path must at least double the
+// Versions=0 read-only throughput.
+func runMVReadOnly(mode, out string, dur time.Duration, seed uint64) error {
+	if mode != "live" {
+		return fmt.Errorf("mvreadonly is live-only (it measures the real snapshot path; use the sim's Versions knob for modeled curves)")
+	}
+	if out == "" {
+		out = "results/BENCH_mv_readonly.json"
+	}
+	rep, err := bench.RunMVReadOnly(
+		[]stm.Algo{stm.InvalSTM, stm.RInvalV2},
+		bench.MVReadOnlyOpts{
+			Duration: dur,
+			Seed:     seed,
 		})
 	if err != nil {
 		return err

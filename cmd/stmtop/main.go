@@ -225,6 +225,13 @@ func render(w io.Writer, prev, cur *snapshot, k int) {
 		}
 		fmt.Fprintln(w)
 	}
+	if ro := cur.conflict; ro.ReadOnly > 0 || ro.ROFallbacks > 0 {
+		fmt.Fprintf(w, "read-only %-10d ro-snapshot %-10d ro-fallbacks %-8d", ro.ReadOnly, ro.ROCommits, ro.ROFallbacks)
+		if st.Commits > 0 {
+			fmt.Fprintf(w, "ro-share %5.1f%%", 100*float64(ro.ReadOnly)/float64(st.Commits))
+		}
+		fmt.Fprintln(w)
+	}
 
 	if lr := cur.latency; lr.Enabled {
 		fmt.Fprintf(w, "\nlatency (1-in-%d sampled, %d sampled commits)\n", lr.SampleEvery, lr.SampledCommits)

@@ -1,0 +1,87 @@
+// The multi-version snapshot-read shape: a version resolve and a ring GC
+// sweep on the annotated hot path. The clean functions stay within the
+// allowed vocabulary (atomics, slice indexing, arithmetic); the instrumented
+// variants reach for a clock and a map and are flagged.
+package hot
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+type box struct {
+	v     any
+	epoch uint64
+}
+
+type ring struct {
+	n     uint64
+	w     atomic.Uint64
+	slots []atomic.Pointer[box]
+}
+
+//stm:hotpath
+func versionAt(r *ring, e uint64) (any, bool) {
+	w := r.w.Load()
+	if w == 0 {
+		return nil, false
+	}
+	lo := uint64(0)
+	if w > r.n {
+		lo = w - r.n
+	}
+	for j := w - 1; ; j-- {
+		b := r.slots[j%r.n].Load()
+		if b == nil {
+			return nil, false
+		}
+		if b.epoch <= e {
+			if r.w.Load() >= j+r.n {
+				return nil, false
+			}
+			return b.v, true
+		}
+		if j == lo {
+			return nil, false
+		}
+	}
+}
+
+//stm:hotpath
+func sweep(r *ring, floor uint64) {
+	w := r.w.Load()
+	lo := uint64(0)
+	if w > r.n {
+		lo = w - r.n
+	}
+	keep := lo
+	for j := w - 1; ; j-- {
+		if b := r.slots[j%r.n].Load(); b != nil && b.epoch <= floor {
+			keep = j
+			break
+		}
+		if j == lo {
+			break
+		}
+	}
+	for j := lo; j < keep; j++ {
+		r.slots[j%r.n].Store(nil)
+	}
+}
+
+//stm:hotpath
+func timedResolve(r *ring, e uint64) (any, bool) {
+	t0 := time.Now() // want hot-path
+	v, ok := versionAt(r, e)
+	_ = time.Since(t0) // want hot-path
+	return v, ok
+}
+
+//stm:hotpath
+func memoizedResolve(r *ring, e uint64) any {
+	cache := map[uint64]any{} // want hot-path
+	if v, ok := versionAt(r, e); ok {
+		cache[e] = v
+	}
+	return cache[e]
+}

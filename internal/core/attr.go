@@ -160,6 +160,9 @@ func (s *System) ConflictReport() obs.ConflictReport {
 	return s.attr.Report(obs.ReportMeta{
 		Commits:      st.Commits,
 		Aborts:       st.Aborts,
+		ReadOnly:     st.ReadOnly,
+		ROCommits:    st.ROCommits,
+		ROFallbacks:  st.ROFallbacks,
 		AbortReasons: st.AbortReasons,
 		FilterBits:   s.cfg.Bloom.Bits,
 		NameOf:       VarName,

@@ -227,6 +227,21 @@ type Config struct {
 	// power of two; oldest events are overwritten once full). Default 4096,
 	// i.e. 128 KiB per actor.
 	TraceEvents int
+	// Versions keeps, per Var, a bounded ring of the most recent committed
+	// boxes stamped with the commit epoch that installed them (DESIGN.md §14).
+	// With Versions > 0 a transaction run via Thread.AtomicallyRO captures a
+	// per-shard epoch snapshot at begin, resolves every Load to the newest
+	// version at or below that snapshot, and commits without a read filter,
+	// doom CAS, or revalidation — zero aborts by construction and zero work
+	// added to committers' epochs. A reader the writers lap (its snapshot
+	// falls off the ring) falls back once to the regular path, counted in
+	// Stats.ROFallbacks. 0 (the default) disables versioning and is the
+	// paper-exact baseline: write-back installs bare boxes and AtomicallyRO
+	// degrades to the regular read-only path. Values 2..1024 are accepted;
+	// 1 is rejected (a one-entry ring can never satisfy a reader that is even
+	// one epoch behind). TL2 is excluded: its per-Var verlock clock is not
+	// the seqlock epoch the snapshot rule is anchored on.
+	Versions int
 	// Seed makes contention-manager jitter reproducible. Default 1.
 	Seed uint64
 }
@@ -359,6 +374,14 @@ func (c Config) withDefaults() (Config, error) {
 		}
 		if c.InvalServers%c.Shards != 0 {
 			return c, fmt.Errorf("core: InvalServers %d is not divisible by Shards %d (each stream needs an equal invalidation partition)", c.InvalServers, c.Shards)
+		}
+	}
+	if c.Versions != 0 {
+		if c.Versions < 2 || c.Versions > 1024 {
+			return c, fmt.Errorf("core: Versions %d out of range [2,1024] (or 0 to disable)", c.Versions)
+		}
+		if c.Algo == TL2 {
+			return c, fmt.Errorf("core: Versions requires a seqlock-epoch engine, not %v", c.Algo)
 		}
 	}
 	return c, nil

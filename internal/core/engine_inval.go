@@ -124,7 +124,7 @@ func (e *invalEngine) commit(tx *Tx) bool {
 		kd = tx.attrKillDesc()
 	}
 	atomic.AddUint64(&tx.stats.Invalidations, sys.invalidateOthers(tx.slot.selfMask, tx.ws.bf, tx.ring, kd))
-	tx.ws.writeBack()
+	sys.writeBack(tx.ws)
 	sys.streams[0].ts.Store(t + 2)
 	return true
 }

@@ -24,7 +24,17 @@ func (e *mutexEngine) read(tx *Tx, v *Var) (*box, bool) {
 }
 
 func (e *mutexEngine) commit(tx *Tx) bool {
-	tx.ws.writeBack()
+	if e.sys.nVers > 0 && tx.ws.len() > 0 {
+		// Versioned write-back needs an odd epoch to stamp. The mutex engine
+		// never touches the timestamp otherwise, so bracket the write-back
+		// with an odd/even transition here, under the global lock — snapshot
+		// readers then see mutex commits exactly as they see seqlock commits.
+		e.sys.streams[0].ts.Add(1)
+		e.sys.writeBack(tx.ws)
+		e.sys.streams[0].ts.Add(1)
+	} else {
+		tx.ws.writeBack()
+	}
 	tx.direct = false
 	e.sys.mu.Unlock()
 	return true

@@ -100,7 +100,7 @@ func (e *norecEngine) commit(tx *Tx) bool {
 		}
 		tx.start = t
 	}
-	tx.ws.writeBack()
+	e.sys.writeBack(tx.ws)
 	e.sys.streams[0].ts.Store(tx.start + 2)
 	return true
 }

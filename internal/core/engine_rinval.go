@@ -514,7 +514,7 @@ func (sv *shardServer) serveEpochFrom(first int) bool {
 			tPrev = now
 		}
 		for _, j := range sv.batchIdx {
-			sys.slots[j].req.Load().ws.writeBack()
+			sys.writeBack(sys.slots[j].req.Load().ws)
 		}
 		st.ts.Add(1)
 	} else {
@@ -533,7 +533,7 @@ func (sv *shardServer) serveEpochFrom(first int) bool {
 		st.ring[slot].Store(&commitDesc{bf: sv.sigBufs[slot], members: m, kd: kd})
 		st.ts.Add(1)
 		for _, j := range sv.batchIdx {
-			sys.slots[j].req.Load().ws.writeBack()
+			sys.writeBack(sys.slots[j].req.Load().ws)
 		}
 		st.ts.Add(1)
 	}
@@ -645,7 +645,7 @@ func (sv *shardServer) serveCrossShard(i int, req *commitReq) {
 		}
 		doomed := sys.invalidateOthers(s.selfMask, req.ws.bf, ring, kd)
 		atomic.AddUint64(&sv.commitSrv.Invalidations, doomed)
-		req.ws.writeBack()
+		sys.writeBack(req.ws)
 		for m := writes; m != 0; {
 			j := bits.Len64(m) - 1
 			m &^= 1 << uint(j)
@@ -669,7 +669,7 @@ func (sv *shardServer) serveCrossShard(i int, req *commitReq) {
 			st.ring[slot].Store(&commitDesc{bf: buf, members: s.selfMask, kd: kd})
 			st.ts.Add(1)
 		}
-		req.ws.writeBack()
+		sys.writeBack(req.ws)
 		for m := writes; m != 0; {
 			j := bits.Len64(m) - 1
 			m &^= 1 << uint(j)

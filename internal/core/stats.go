@@ -43,6 +43,15 @@ type Stats struct {
 	Reads    uint64 // transactional loads (all attempts)
 	Writes   uint64 // transactional stores (all attempts)
 
+	// ROCommits counts AtomicallyRO transactions that finished on the
+	// multi-version snapshot path (Config.Versions > 0): zero aborts, zero
+	// invalidation-scan work by construction. A subset of both Commits and
+	// ReadOnly. ROFallbacks counts snapshot attempts abandoned because the
+	// writers lapped the version ring (or the epoch vector never stabilized);
+	// each one re-ran once on the regular path.
+	ROCommits   uint64
+	ROFallbacks uint64
+
 	ReadNs   uint64 // time in Tx.Load: value load + validation/invalidation checks
 	CommitNs uint64 // time in commit: acquisition/invalidation/write-back or server wait
 	AbortNs  uint64 // time rolling back + contention-manager backoff
@@ -127,6 +136,8 @@ func (s *Stats) Add(o Stats) {
 	atomic.AddUint64(&s.Commits, o.Commits)
 	atomic.AddUint64(&s.Aborts, o.Aborts)
 	atomic.AddUint64(&s.ReadOnly, o.ReadOnly)
+	atomic.AddUint64(&s.ROCommits, o.ROCommits)
+	atomic.AddUint64(&s.ROFallbacks, o.ROFallbacks)
 	atomic.AddUint64(&s.Reads, o.Reads)
 	atomic.AddUint64(&s.Writes, o.Writes)
 	atomic.AddUint64(&s.ReadNs, o.ReadNs)
@@ -154,6 +165,8 @@ func (s *Stats) snapshotAtomic() Stats {
 		Commits:       atomic.LoadUint64(&s.Commits),
 		Aborts:        atomic.LoadUint64(&s.Aborts),
 		ReadOnly:      atomic.LoadUint64(&s.ReadOnly),
+		ROCommits:     atomic.LoadUint64(&s.ROCommits),
+		ROFallbacks:   atomic.LoadUint64(&s.ROFallbacks),
 		Reads:         atomic.LoadUint64(&s.Reads),
 		Writes:        atomic.LoadUint64(&s.Writes),
 		ReadNs:        atomic.LoadUint64(&s.ReadNs),

@@ -146,6 +146,25 @@ type System struct {
 	// contract). Unused when cfg.FlatScan walks every slot instead.
 	active activeSet
 
+	// nVers is Config.Versions: the per-Var history ring capacity, 0 when
+	// multi-versioning is off. Cached here so the write-back dispatch is one
+	// integer test.
+	nVers int
+
+	// roActive is the snapshot readers' own liveness bitmap (Versions > 0):
+	// slot i's bit is set while a snapshot read-only transaction runs there.
+	// Deliberately separate from active — committers never scan it, so
+	// snapshot readers add zero work to invalidation epochs; only write-back's
+	// GC floor computation (roFloorNow) reads it.
+	roActive activeSet
+
+	// roEpoch[i] is slot i's published snapshot lower bound while its roActive
+	// bit is set: a provisional epoch stored before the bit (see runSnapshot
+	// for the ordering argument), never above the snapshot the reader actually
+	// captures. Kept out of slot so the request array's hand-tuned layout is
+	// untouched.
+	roEpoch []padded.Uint64
+
 	// partMask[k] masks active's words down to invalidation partition k
 	// (slots with invalServer == k). Built once at construction; every
 	// stream's server k scans the same slot partition.
@@ -229,6 +248,11 @@ func newSystem(cfg Config) (*System, error) {
 	s.nInvalPerShard = cfg.InvalServers / cfg.Shards
 	s.slots = make([]slot, cfg.MaxThreads)
 	s.active = newActiveSet(cfg.MaxThreads)
+	s.nVers = cfg.Versions
+	if s.nVers > 0 {
+		s.roActive = newActiveSet(cfg.MaxThreads)
+		s.roEpoch = make([]padded.Uint64, cfg.MaxThreads)
+	}
 	s.partMask = make([]slotMask, s.nInvalPerShard)
 	for k := range s.partMask {
 		s.partMask[k] = newSlotMask(cfg.MaxThreads)
@@ -396,6 +420,9 @@ func (s *System) Register() (*Thread, error) {
 	if s.tracer != nil {
 		th.tx.ring = s.tracer.Ring(idx)
 	}
+	if s.nVers > 0 {
+		th.tx.snap = make([]uint64, s.cfg.Shards)
+	}
 	th.tx.lat = s.lat.Client(idx) // nil cell when Latency is off
 	if s.attr != nil {
 		// The thread's reusable unsampled killer descriptor: immutable, so
@@ -521,6 +548,104 @@ func (s *System) waitEven() uint64 {
 		}
 		w.Wait()
 	}
+}
+
+// writeBack publishes every buffered version of ws. With Versions off this is
+// exactly the seed's bare loop (one storeBox per entry, nothing else touches
+// the hot path); with Versions on, each box is first stamped with its owning
+// stream's timestamp — odd at this point, uniquely identifying the epoch — and
+// appended to its Var's history ring, trimming entries below the GC floor in
+// the same pass. The caller must hold the write-back right for every written
+// stream (timestamp odd, or the global mutex with streams[0] raised odd).
+//
+//stm:hotpath
+func (s *System) writeBack(ws *writeSet) {
+	if s.nVers == 0 {
+		ws.writeBack()
+		return
+	}
+	floor := s.roFloorNow()
+	for _, e := range ws.entries {
+		e.b.epoch = s.streams[e.v.shardH&s.shardMask].ts.Load()
+		e.v.appendVersion(e.b, s.nVers, floor)
+		e.v.storeBox(e.b)
+	}
+}
+
+// roFloorNow returns the version-GC floor: no live snapshot reader resolves a
+// Load below it, so history entries strictly older than the newest entry at
+// or below the floor are reclaimable. It is the minimum of (a) every stream's
+// current rounded-down timestamp — the snapshot any reader beginning from now
+// on captures at least — and (b) every live reader's published epoch bound.
+// The timestamps are read FIRST: a reader that our bitmap scan misses (bit
+// not yet set) publishes its provisional epoch before the bit and captures a
+// snapshot at or above that epoch, which is itself at or above the timestamp
+// value we already read — monotonicity makes the early read a lower bound.
+//
+//stm:hotpath
+func (s *System) roFloorNow() uint64 {
+	floor := ^uint64(0)
+	for j := range s.streams {
+		if t := s.streams[j].ts.Load() &^ 1; t < floor {
+			floor = t
+		}
+	}
+	for w := range s.roActive.words {
+		b := s.roActive.words[w].Load()
+		for b != 0 {
+			if e := s.roEpoch[nextSlot(w, &b)].Load(); e < floor {
+				floor = e
+			}
+		}
+	}
+	return floor
+}
+
+// captureSnapshot fills dst (length Shards) with a consistent per-shard epoch
+// vector: a cut no commit's write-back straddles. With one shard any even
+// value works — rounding an odd timestamp down names the last epoch whose
+// write-back fully preceded the odd transition we observed. With several
+// shards a single pass can tear across a cross-shard commit, so the vector is
+// double-collected: two ascending passes that must both see every stream even
+// and unchanged. That suffices because a cross-shard epoch raises its streams
+// odd in ascending order and lowers them in descending order — the lowest
+// participating stream's odd window encloses the others — so a commit whose
+// write-back overlapped the first pass either shows odd on some stream or
+// changes a timestamp between the passes. false after the retry budget means
+// the caller should fall back to the regular path rather than spin against a
+// saturated commit pipeline.
+//
+//stm:hotpath
+func (s *System) captureSnapshot(dst []uint64) bool {
+	if len(s.streams) == 1 {
+		dst[0] = s.streams[0].ts.Load() &^ 1
+		return true
+	}
+	var w spin.Waiter
+	for attempt := 0; attempt < 8; attempt++ {
+		stable := true
+		for j := range s.streams {
+			t := s.streams[j].ts.Load()
+			if t&1 != 0 {
+				stable = false
+				break
+			}
+			dst[j] = t
+		}
+		if stable {
+			for j := range s.streams {
+				if s.streams[j].ts.Load() != dst[j] {
+					stable = false
+					break
+				}
+			}
+		}
+		if stable {
+			return true
+		}
+		w.Wait()
+	}
+	return false
 }
 
 // invalidateOthers dooms every in-flight transaction outside the skip set

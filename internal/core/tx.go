@@ -15,6 +15,14 @@ import (
 // which retries the transaction; it never escapes the package.
 type conflictSignal struct{}
 
+// roFallbackSignal unwinds a snapshot read-only attempt whose snapshot fell
+// off a Var's bounded history ring (the writers lapped it, or the commit
+// pipeline never went quiet long enough to capture a cut). It is deliberately
+// not a conflictSignal: nothing doomed the reader and there is no engine
+// state to roll back or abort reason to record — AtomicallyRO catches it,
+// counts Stats.ROFallbacks, and re-runs the body once on the regular path.
+type roFallbackSignal struct{}
+
 // Thread binds a goroutine to one entry of the cache-aligned requests array.
 // Obtain with System.Register, release with Close. A Thread (and its
 // transactions) must be driven by a single goroutine at a time.
@@ -77,12 +85,56 @@ func (th *Thread) Atomically(fn func(*Tx) error) error {
 	tx := &th.tx
 	tx.attempts = 0
 	th.backoff.Reset()
-	// One sampling decision per transaction, before the first attempt: all
-	// of a sampled transaction's attempts are timed, so the retry phase is
-	// complete and the phase counts equal the sampled-commit count. With
-	// Latency off (nil cell) this path does no store at all, and latOn stays
-	// at its zero value; the conditional reset only pays when the previous
-	// transaction was sampled.
+	tx.sampleLatency()
+	return tx.retryLoop(fn)
+}
+
+// AtomicallyRO runs fn as a read-only transaction. With Config.Versions > 0
+// it takes the snapshot path: capture a per-shard epoch vector, resolve every
+// Load to the newest version at or below it, and finish without a read
+// filter, doom CAS, or revalidation — the transaction can never conflict and
+// never appears in an invalidation scan. A reader the writers lap falls back
+// once to the regular retry loop (counted in Stats.ROFallbacks). With
+// Versions == 0 the regular path runs directly, so the paper-exact baseline
+// is behaviourally unchanged. Either way fn must not call Tx.Store (it
+// panics); returning a non-nil error aborts as in Atomically.
+func (th *Thread) AtomicallyRO(fn func(*Tx) error) error {
+	if th.closed {
+		panic("core: AtomicallyRO on closed Thread")
+	}
+	if th.inTx {
+		panic("core: nested AtomicallyRO (flat nesting is not supported; pass the Tx down)")
+	}
+	th.inTx = true
+	tx := &th.tx
+	tx.roUser = true
+	defer func() {
+		tx.roUser = false
+		th.inTx = false
+		if th.sys.yieldPerTx {
+			runtime.Gosched()
+		}
+	}()
+
+	tx.attempts = 0
+	th.backoff.Reset()
+	tx.sampleLatency()
+	if th.sys.nVers > 0 {
+		if err, ok := tx.runSnapshot(fn); ok {
+			return err
+		}
+		// Lapped (or capture never stabilized): one shot on the regular path.
+	}
+	return tx.retryLoop(fn)
+}
+
+// sampleLatency makes the one sampling decision per transaction, before the
+// first attempt: all of a sampled transaction's attempts are timed, so the
+// retry phase is complete and the phase counts equal the sampled-commit
+// count. With Latency off (nil cell) this path does no store at all, and
+// latOn stays at its zero value; the conditional reset only pays when the
+// previous transaction was sampled.
+func (tx *Tx) sampleLatency() {
 	if tx.lat != nil && tx.lat.Sample() {
 		tx.latOn = true
 		tx.latT0 = obs.Now()
@@ -91,6 +143,11 @@ func (th *Thread) Atomically(fn func(*Tx) error) error {
 	} else if tx.latOn {
 		tx.latOn = false
 	}
+}
+
+// retryLoop drives attempts of fn through the engine until one commits or fn
+// asks for a user abort. Shared by Atomically and AtomicallyRO's fallback.
+func (tx *Tx) retryLoop(fn func(*Tx) error) error {
 	for {
 		tx.begin()
 		err, conflicted := tx.run(fn)
@@ -109,6 +166,98 @@ func (th *Thread) Atomically(fn func(*Tx) error) error {
 	}
 }
 
+// runSnapshot is AtomicallyRO's abort-free path: one attempt against a
+// consistent epoch snapshot. ok=false means the attempt fell back (counted in
+// ROFallbacks) and the caller must re-run fn on the regular path; the user
+// function's effects are discarded either way (it has no writes).
+func (tx *Tx) runSnapshot(fn func(*Tx) error) (err error, ok bool) {
+	sys := tx.sys
+	tx.attempts++
+	// Publish the provisional epoch bound, then the liveness bit, then
+	// capture. roFloorNow reads the timestamps before the bitmap, so a floor
+	// computation that misses our bit used timestamp values from before this
+	// point — at or below the provisional bound, and therefore at or below
+	// every component of the snapshot we are about to capture (timestamps
+	// only grow). One that sees our bit honours the published bound directly.
+	prov := ^uint64(0)
+	for j := range sys.streams {
+		if t := sys.streams[j].ts.Load() &^ 1; t < prov {
+			prov = t
+		}
+	}
+	sys.roEpoch[tx.th.idx].Store(prov)
+	sys.roActive.set(tx.th.idx)
+	defer sys.roActive.clear(tx.th.idx)
+	if !sys.captureSnapshot(tx.snap) {
+		atomic.AddUint64(&tx.stats.ROFallbacks, 1)
+		return nil, false
+	}
+	// Tighten the published bound to the snapshot's actual minimum so GC
+	// reclaims up to what this reader really needs. Raising it is safe: the
+	// floor takes the minimum over all live readers and the resolve rule
+	// never reaches below the snapshot component of the Var's own shard.
+	minSnap := tx.snap[0]
+	for _, e := range tx.snap[1:] {
+		if e < minSnap {
+			minSnap = e
+		}
+	}
+	sys.roEpoch[tx.th.idx].Store(minSnap)
+
+	tx.ro = true
+	defer func() { tx.ro = false }()
+	tx.traceT0 = tx.ring.Now()
+	tx.ring.InstantAt(obs.KBegin, tx.traceT0, uint64(tx.attempts))
+	err, fellBack := tx.runRO(fn)
+	if fellBack {
+		atomic.AddUint64(&tx.stats.ROFallbacks, 1)
+		tx.ring.Span(obs.KTx, tx.traceT0, obs.OutcomeAbort)
+		if tx.latOn {
+			// Fold the burned attempt into the retry phase; the fallback
+			// attempt's finishCommit records the sample, as in onConflictAbort.
+			now := obs.Now()
+			tx.latRetryNs += now - tx.latAttemptT0
+			tx.latAttemptT0 = now
+		}
+		return nil, false
+	}
+	if err != nil {
+		// User abort on the snapshot path: no engine state, no slot to
+		// retire — just the taxonomy counter and the trace events.
+		atomic.AddUint64(&tx.stats.AbortReasons[AbortExplicit], 1)
+		tx.ring.Span(obs.KTx, tx.traceT0, obs.OutcomeUserAbort)
+		tx.ring.Instant(obs.KAbort, uint64(AbortExplicit))
+		return err, true
+	}
+	atomic.AddUint64(&tx.stats.Commits, 1)
+	atomic.AddUint64(&tx.stats.ReadOnly, 1)
+	atomic.AddUint64(&tx.stats.ROCommits, 1)
+	tx.ring.Span(obs.KTx, tx.traceT0, obs.OutcomeCommit)
+	if tx.latOn {
+		// No commit-wait by construction: the snapshot path never queues
+		// behind a server or a timestamp CAS.
+		end := obs.Now()
+		tx.lat.CommitSample(end-tx.latAttemptT0, 0, tx.latRetryNs, end-tx.latT0)
+	}
+	return nil, true
+}
+
+// runRO executes the user function on the snapshot path, translating a
+// roFallbackSignal panic into fellBack=true. Other panics propagate directly:
+// the snapshot path holds no engine resources or slot state to release.
+func (tx *Tx) runRO(fn func(*Tx) error) (err error, fellBack bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(roFallbackSignal); ok {
+				fellBack = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn(tx), false
+}
+
 // Tx is one transaction attempt's view of the world. It is only valid inside
 // the Atomically callback that received it.
 type Tx struct {
@@ -123,6 +272,14 @@ type Tx struct {
 	attempts int
 	stats    *Stats
 	direct   bool // Mutex engine: operate on Vars directly under the lock
+
+	// roUser marks the whole AtomicallyRO call (snapshot path and fallback
+	// alike): Store panics while it is set. ro marks the snapshot attempt
+	// specifically: Load resolves against snap, the per-shard epoch vector
+	// captured at begin (allocated once at Register when Versions > 0).
+	roUser bool
+	ro     bool
+	snap   []uint64
 
 	// readShards accumulates the shard bits of every Var this attempt read
 	// (invalidation engines only; always bit 0 when Config.Shards == 1). The
@@ -240,6 +397,9 @@ func (tx *Tx) run(fn func(*Tx) error) (err error, conflicted bool) {
 //stm:hotpath
 func (tx *Tx) Load(v *Var) any {
 	atomic.AddUint64(&tx.stats.Reads, 1)
+	if tx.ro {
+		return tx.loadSnapshot(v)
+	}
 	if tx.direct {
 		if b, ok := tx.ws.lookup(v); ok {
 			return b.v
@@ -268,9 +428,27 @@ func (tx *Tx) Load(v *Var) any {
 	return b.v
 }
 
+// loadSnapshot resolves v against the attempt's epoch snapshot: the newest
+// committed version at or below the snapshot component of v's shard. No read
+// filter, no read log, no slot state — nothing a committer could scan or
+// doom. A miss (history trimmed or lapped under the reader) unwinds to the
+// one-shot fallback in AtomicallyRO.
+//
+//stm:hotpath
+func (tx *Tx) loadSnapshot(v *Var) any {
+	val, ok := v.versionAt(tx.snap[v.shardH&tx.sys.shardMask])
+	if !ok {
+		panic(roFallbackSignal{})
+	}
+	return val
+}
+
 // Store buffers a write of val to v; it becomes visible atomically at commit.
 //stm:hotpath
 func (tx *Tx) Store(v *Var, val any) {
+	if tx.roUser {
+		panic("core: Store in read-only transaction")
+	}
 	atomic.AddUint64(&tx.stats.Writes, 1)
 	tx.ws.put(v, val)
 }

@@ -49,6 +49,12 @@ func VarName(id uint64) string {
 // cause an extra abort, never a missed conflict).
 type box struct {
 	v any
+	// epoch is the commit-stream timestamp of the group-commit epoch that
+	// installed this box, stamped by sys.writeBack before publication (the
+	// box is immutable afterwards). Zero under Versions=0, where nothing
+	// reads it; the initial box of a Var is also epoch 0, which every
+	// snapshot dominates.
+	epoch uint64
 }
 
 // Var is one transactional memory location. Create Vars with NewVar; access
@@ -71,6 +77,120 @@ type Var struct {
 	// last commit that wrote this Var). Unused by the coarse-grained
 	// engines, whose consistency is anchored on the global timestamp.
 	verlock atomic.Uint64
+	// vers is the bounded version history ring under Config.Versions > 0,
+	// allocated lazily at this Var's first versioned write-back. nil means
+	// every committed box so far is the head (epoch-0 initial value included),
+	// so a snapshot reader can take the head directly.
+	vers atomic.Pointer[verRing]
+}
+
+// verRing is a Var's bounded history of recent committed boxes, newest last.
+// Appends happen only under write-back exclusivity (the owning stream's
+// timestamp is odd), so writers never race each other; readers race writers
+// and validate against w (see versionAt). slots[ℓ%n] holds the box appended
+// as logical entry ℓ; w counts appends, so logical entries w-n..w-1 are the
+// ones potentially still resident.
+type verRing struct {
+	n     uint64
+	w     atomic.Uint64
+	slots []atomic.Pointer[box]
+}
+
+// appendVersion publishes b (already epoch-stamped) as the Var's newest
+// history entry and trims entries no live snapshot reader can need: every
+// entry strictly older than the newest entry at or below floor is unlinked so
+// the boxes become collectable. Called only during write-back, while the
+// owning stream's timestamp is odd.
+func (v *Var) appendVersion(b *box, n int, floor uint64) {
+	r := v.vers.Load()
+	if r == nil {
+		// First versioned write-back: seed the ring with the current head so
+		// readers whose snapshot predates this append still resolve here
+		// instead of falling back.
+		//stmlint:ignore hot-path-deep one-time ring allocation per Var, amortized over its whole history
+		r = &verRing{n: uint64(n), slots: make([]atomic.Pointer[box], n)}
+		r.slots[0].Store(v.loadBox())
+		r.w.Store(1)
+		v.vers.Store(r)
+	}
+	w := r.w.Load()
+	r.slots[w%r.n].Store(b)
+	r.w.Store(w + 1) // publish: readers treat entries >= w as absent until this store
+	// GC sweep: among the surviving entries w+1-n..w, find the newest with
+	// epoch <= floor (the one the oldest live reader resolves to) and nil
+	// everything strictly older. The just-appended entry is never trimmed:
+	// floor is always below the odd epoch stamped on b.
+	lo := uint64(0)
+	if w+1 > r.n {
+		lo = w + 1 - r.n
+	}
+	keep := lo // nothing at or below floor found => trim nothing
+	for j := w; ; j-- {
+		e := r.slots[j%r.n].Load()
+		if e != nil && e.epoch <= floor {
+			keep = j
+			break
+		}
+		if j == lo {
+			break
+		}
+	}
+	if keep > lo {
+		for j := lo; j < keep; j++ {
+			r.slots[j%r.n].Store(nil)
+		}
+	}
+}
+
+// versionAt resolves the newest committed version of v with epoch <= e, the
+// snapshot-read rule of DESIGN.md §14. ok=false means the history no longer
+// reaches back to e (the writers lapped the ring, or GC trimmed past the
+// snapshot) and the caller must fall back to the regular path.
+//
+//stm:hotpath
+func (v *Var) versionAt(e uint64) (any, bool) {
+	h := v.loadBox()
+	if h.epoch <= e {
+		// Head fast path: the common case for read-mostly Vars, and the only
+		// case ever taken before the Var's first versioned write-back.
+		return h.v, true
+	}
+	r := v.vers.Load()
+	if r == nil {
+		// The head is newer than the snapshot but no ring exists yet: the
+		// stamping write-back that will seed the ring has published the head
+		// before the ring pointer became visible to us. Rare and transient;
+		// fall back.
+		return nil, false
+	}
+	w := r.w.Load()
+	if w == 0 {
+		return nil, false
+	}
+	// Scan newest to oldest. A candidate at logical index j is trustworthy
+	// only if the ring has not wrapped past it while we looked: re-reading
+	// w < j+n after the slot load proves slot j%n still held logical entry j
+	// (the overwrite for logical j+n is published only after w reaches j+n).
+	lo := uint64(0)
+	if w > r.n {
+		lo = w - r.n
+	}
+	for j := w - 1; ; j-- {
+		b := r.slots[j%r.n].Load()
+		if b == nil {
+			// Trimmed: every older entry is gone too.
+			return nil, false
+		}
+		if b.epoch <= e {
+			if r.w.Load() >= j+r.n {
+				return nil, false // lapped while scanning
+			}
+			return b.v, true
+		}
+		if j == lo {
+			return nil, false
+		}
+	}
 }
 
 // NewVar returns a Var holding initial.

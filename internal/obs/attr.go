@@ -264,6 +264,14 @@ type ConflictReport struct {
 	Commits      uint64            `json:"commits"`
 	Aborts       uint64            `json:"aborts"`
 	AbortReasons map[string]uint64 `json:"abort_reasons,omitempty"`
+	// ReadOnly counts committed transactions that wrote nothing; ROCommits
+	// the subset that finished on the multi-version snapshot path (zero
+	// aborts, zero invalidation-scan work), ROFallbacks the snapshot attempts
+	// that fell off the bounded version ring and re-ran on the regular path.
+	// Carried whether or not attribution is enabled, like Commits/Aborts.
+	ReadOnly    uint64 `json:"read_only"`
+	ROCommits   uint64 `json:"ro_commits"`
+	ROFallbacks uint64 `json:"ro_fallbacks"`
 	// WastedNs/WastedOps are time and operations burned in aborted attempts,
 	// per abort reason.
 	WastedNs  map[string]uint64 `json:"wasted_ns,omitempty"`
@@ -282,6 +290,9 @@ type ConflictReport struct {
 type ReportMeta struct {
 	Commits      uint64
 	Aborts       uint64
+	ReadOnly     uint64
+	ROCommits    uint64
+	ROFallbacks  uint64
 	AbortReasons [NumAbortReasons]uint64
 	FilterBits   int
 	TopK         int                 // hot-var table size (<=0 selects 16)
@@ -295,6 +306,9 @@ func (a *Attribution) Report(meta ReportMeta) ConflictReport {
 	rep := ConflictReport{
 		Commits:      meta.Commits,
 		Aborts:       meta.Aborts,
+		ReadOnly:     meta.ReadOnly,
+		ROCommits:    meta.ROCommits,
+		ROFallbacks:  meta.ROFallbacks,
 		FilterBits:   meta.FilterBits,
 		AbortReasons: make(map[string]uint64, NumAbortReasons),
 	}
@@ -391,6 +405,9 @@ func (r *ConflictReport) WriteOpenMetrics(w io.Writer) {
 	for _, reason := range AbortReasons {
 		fmt.Fprintf(w, "stm_aborts_total{reason=%q} %d\n", reason.String(), r.AbortReasons[reason.String()])
 	}
+	fmt.Fprintf(w, "# TYPE stm_readonly counter\nstm_readonly_total %d\n", r.ReadOnly)
+	fmt.Fprintf(w, "# TYPE stm_ro_commits counter\nstm_ro_commits_total %d\n", r.ROCommits)
+	fmt.Fprintf(w, "# TYPE stm_ro_fallbacks counter\nstm_ro_fallbacks_total %d\n", r.ROFallbacks)
 	fmt.Fprintf(w, "# TYPE stm_attribution_enabled gauge\nstm_attribution_enabled %d\n", b2i(r.Enabled))
 	if !r.Enabled {
 		return

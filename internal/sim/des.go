@@ -236,6 +236,12 @@ func (d *des) readPhase(now uint64, t *thread) (end, readCyc, otherCyc uint64) {
 
 // readCost models one transactional load at time `cur`.
 func (d *des) readCost(cur uint64, t *thread) uint64 {
+	if d.c.Versions > 0 && t.readOnly && d.c.Engine != Mutex && d.c.Engine != TL2 {
+		// Multi-version snapshot read: resolve against the captured epoch
+		// vector — head load plus the occasional ring scan, no bloom-filter
+		// publish, no write-back stall, no server wait.
+		return 2 * d.p.CacheHit
+	}
 	var c uint64
 	switch d.c.Engine {
 	case Mutex:
@@ -389,6 +395,11 @@ func (d *des) finishCommit(ti int, commitEnd uint64, falseBloom bool) {
 		for j := range d.thr {
 			o := &d.thr[j]
 			if j == ti || !o.running || o.doomedAt != 0 {
+				continue
+			}
+			if d.c.Versions > 0 && o.readOnly {
+				// Snapshot readers never appear in the invalidation scan:
+				// abort-free by construction (and free for the committer).
 				continue
 			}
 			if d.bernoulli(pc) {

@@ -170,10 +170,17 @@ type Config struct {
 	// whose footprint spans streams pay the two-phase handshake: they wait
 	// for every touched pipeline and occupy all of them for the epoch.
 	// 0 means 1 (the paper's single global stream).
-	Shards     int
-	Cores      int    // physical cores; threads beyond cores timeshare
-	Duration   uint64 // simulated cycles
-	Seed       uint64
+	Shards int
+	// Versions mirrors core.Config.Versions: with a positive value read-only
+	// transactions run on the multi-version snapshot path — they are never
+	// doomed by a committing writer and their reads skip the invalidation
+	// engines' bloom-filter maintenance and write-back stalls (a version
+	// resolve costs ~two core-local accesses instead). 0 models the
+	// paper-exact baseline where readers pay the invalidation tax.
+	Versions int
+	Cores    int    // physical cores; threads beyond cores timeshare
+	Duration uint64 // simulated cycles
+	Seed     uint64
 }
 
 // DefaultConfig returns the paper-scale machine: 64 cores, 4 invalidation

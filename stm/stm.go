@@ -249,6 +249,20 @@ func (t *Thread) Atomically(fn func(*Tx) error) error {
 	})
 }
 
+// AtomicallyRO executes fn as a read-only transaction. With Config.Versions
+// set, fn reads a consistent multi-version snapshot and can never abort or
+// appear in an invalidation scan (a reader the writers lap re-runs once on
+// the regular path — see Stats.ROFallbacks); with Versions unset it behaves
+// like Atomically. fn must not Store (it panics); a non-nil error from fn is
+// returned as a user abort, as in Atomically.
+func (t *Thread) AtomicallyRO(fn func(*Tx) error) error {
+	var tx Tx
+	return t.th.AtomicallyRO(func(inner *core.Tx) error {
+		tx.inner = inner
+		return fn(&tx)
+	})
+}
+
 // Close releases the thread's slot.
 func (t *Thread) Close() { t.th.Close() }
 

@@ -198,3 +198,56 @@ func ExampleSystem() {
 	fmt.Println(account.Peek())
 	// Output: 70
 }
+
+// TestAtomicallyRO exercises the typed read-only wrapper: snapshot reads see
+// committed state, Store panics inside a read-only transaction, and the
+// snapshot counters surface through the typed Stats alias.
+func TestAtomicallyRO(t *testing.T) {
+	s, err := stm.New(stm.Config{Algo: stm.RInvalV2, MaxThreads: 8, InvalServers: 2, Versions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	th := s.MustRegister()
+	defer th.Close()
+
+	a, b := stm.NewVar(40), stm.NewVar(2)
+	if err := th.Atomically(func(tx *stm.Tx) error {
+		a.Store(tx, a.Load(tx)+b.Load(tx))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	if err := th.AtomicallyRO(func(tx *stm.Tx) error {
+		got = a.Load(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("snapshot read %d, want 42", got)
+	}
+	if st := th.Stats(); st.ROCommits != 1 || st.ROFallbacks != 0 {
+		t.Fatalf("stats %+v: want one snapshot commit, no fallbacks", st)
+	}
+
+	roErr := errors.New("user abort")
+	if err := th.AtomicallyRO(func(tx *stm.Tx) error { return roErr }); !errors.Is(err, roErr) {
+		t.Fatalf("user abort not returned: %v", err)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Store inside AtomicallyRO did not panic")
+		}
+	}()
+	_ = th.AtomicallyRO(func(tx *stm.Tx) error {
+		a.Store(tx, 0)
+		return nil
+	})
+}
