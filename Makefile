@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet lint lint-github race bench-groupcommit bench-scan bench-conflict bench-shard bench-latency bench-mvro
+.PHONY: verify build test vet lint lint-github race bench-groupcommit bench-scan bench-conflict bench-shard bench-latency bench-mvro bench-tsdb
 
 ## verify: the full pre-merge gate — vet, the invariant linter, build, tests,
 ## and the race detector over the packages with real concurrency.
@@ -64,3 +64,12 @@ bench-latency:
 ## report uses -duration 150ms; this target is sized for a CI smoke run.
 bench-mvro:
 	$(GO) run ./cmd/rinval-bench -exp mvreadonly -mode live -duration 40ms
+
+## bench-tsdb: SLO burn-rate monitor smoke into results/BENCH_slo_burn.json —
+## a steady control run must record zero alerts, a planted phase change must
+## trip the abort-rate objective's fast and slow burn windows — plus the
+## hot-path overhead proof (TimeSeries off vs on, allocs must match).
+bench-tsdb:
+	$(GO) run ./cmd/rinval-bench -exp sloburn -mode live
+	$(GO) test ./internal/core/ -run TestTimeSeriesOffZeroAllocs -count=1 -v
+	$(GO) test ./internal/core/ -run none -bench BenchmarkTimeSeriesOverhead -benchmem -benchtime 20000x

@@ -59,6 +59,7 @@ var validExps = []expDesc{
 	{"ablTL2", "ablation: coarse family vs TL2 (sim only)"},
 	{"latency", "per-transaction latency percentiles (live only)"},
 	{"latencyslo", "critical-path latency decomposition: phase p50/p99 per engine x threads x shards (live only)"},
+	{"sloburn", "SLO burn-rate monitor: planted phase change must alert, steady control must stay silent (live only)"},
 	{"groupcommit", "group-commit batching sweep (live only)"},
 	{"invalscan", "invalidation-scan sweep: flat vs two-level (live only)"},
 	{"conflict", "conflict attribution: FP rate, hot-var skew, wasted work (live only)"},
@@ -144,6 +145,12 @@ func main() {
 	}
 	if *exp == "latencyslo" {
 		if err := runLatencySLO(*mode, *out, *iters, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *exp == "sloburn" {
+		if err := runSLOBurn(*mode, *out, *seed); err != nil {
 			fatal(err)
 		}
 		return
@@ -416,6 +423,33 @@ func runLatencySLO(mode, out string, iters int, seed uint64) error {
 		Iters: iters,
 		Seed:  seed,
 	})
+	if err != nil {
+		return err
+	}
+	rep.Format(os.Stdout)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runSLOBurn runs the SLO burn-rate experiment: a steady control run that
+// must record zero alerts and a planted phase-change run whose abort-rate
+// objective must trip both burn windows.
+func runSLOBurn(mode, out string, seed uint64) error {
+	if mode != "live" {
+		return fmt.Errorf("sloburn is live-only (it exercises the real sampler and alert pipeline)")
+	}
+	if out == "" {
+		out = "results/BENCH_slo_burn.json"
+	}
+	rep, err := bench.RunSLOBurn(bench.SLOBurnOpts{Seed: seed})
 	if err != nil {
 		return err
 	}

@@ -14,9 +14,10 @@
 //	stmtop -addr localhost:8080 -width 60    # clip panels for a narrow terminal
 //
 // The data source is /debug/vars: the "stm" var carries the base counters,
-// "stm_conflict" the ConflictReport snapshot, and "stm_latency" the sampled
-// critical-path decomposition (all published by the benchmark harness;
-// attribution detail needs Config.Attribution, latency Config.Latency).
+// "stm_conflict" the ConflictReport snapshot, "stm_latency" the sampled
+// critical-path decomposition, and "stm_timeseries" the windowed telemetry
+// ring (all published by the benchmark harness; attribution detail needs
+// Config.Attribution, latency Config.Latency, sparklines Config.TimeSeries).
 package main
 
 import (
@@ -108,10 +109,11 @@ func renderClipped(w io.Writer, prev, cur *snapshot, k, cols int) {
 // jsonSnapshot is the -json output shape: the three published vars under
 // stable keys, plus the poll timestamp.
 type jsonSnapshot struct {
-	At       time.Time           `json:"at"`
-	STM      *stmVars            `json:"stm,omitempty"`
-	Conflict *obs.ConflictReport `json:"conflict,omitempty"`
-	Latency  *obs.LatencyReport  `json:"latency,omitempty"`
+	At         time.Time             `json:"at"`
+	STM        *stmVars              `json:"stm,omitempty"`
+	Conflict   *obs.ConflictReport   `json:"conflict,omitempty"`
+	Latency    *obs.LatencyReport    `json:"latency,omitempty"`
+	TimeSeries *obs.TimeSeriesReport `json:"timeseries,omitempty"`
 }
 
 // writeJSON emits one machine-readable snapshot.
@@ -121,18 +123,22 @@ func writeJSON(w io.Writer, cur *snapshot) error {
 		out.STM = &cur.stm
 		out.Conflict = &cur.conflict
 		out.Latency = &cur.latency
+		if cur.tseries.Enabled {
+			out.TimeSeries = &cur.tseries
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(out)
 }
 
-// snapshot is one poll of /debug/vars, reduced to the three STM vars.
+// snapshot is one poll of /debug/vars, reduced to the published STM vars.
 type snapshot struct {
 	at       time.Time
 	stm      stmVars
 	conflict obs.ConflictReport
 	latency  obs.LatencyReport
+	tseries  obs.TimeSeriesReport
 	hasSTM   bool
 }
 
@@ -182,6 +188,11 @@ func decode(r io.Reader) (*snapshot, error) {
 			return nil, fmt.Errorf("parsing stm_latency var: %w", err)
 		}
 	}
+	if raw, ok := vars["stm_timeseries"]; ok && string(raw) != "null" {
+		if err := json.Unmarshal(raw, &s.tseries); err != nil {
+			return nil, fmt.Errorf("parsing stm_timeseries var: %w", err)
+		}
+	}
 	return s, nil
 }
 
@@ -208,9 +219,14 @@ func render(w io.Writer, prev, cur *snapshot, k int) {
 	if prev != nil && prev.hasSTM {
 		dt := cur.at.Sub(prev.at).Seconds()
 		if dt > 0 {
-			dc := float64(st.Commits-prev.stm.Commits) / dt
-			da := float64(st.Aborts-prev.stm.Aborts) / dt
-			fmt.Fprintf(w, "rates  %.0f commits/s  %.0f aborts/s (over %.2fs)\n", dc, da, dt)
+			dc, okc := counterDelta(st.Commits, prev.stm.Commits)
+			da, oka := counterDelta(st.Aborts, prev.stm.Aborts)
+			if okc && oka {
+				fmt.Fprintf(w, "rates  %.0f commits/s  %.0f aborts/s (over %.2fs)\n",
+					float64(dc)/dt, float64(da)/dt, dt)
+			} else {
+				fmt.Fprintln(w, "rates  -- counter reset detected (source restarted); re-syncing")
+			}
 		}
 	}
 	if len(st.AbortReasons) > 0 {
@@ -239,6 +255,8 @@ func render(w io.Writer, prev, cur *snapshot, k int) {
 		renderPhases(w, "client", lr.Client)
 		renderPhases(w, "server", lr.Server)
 	}
+
+	renderTimeSeries(w, cur.tseries)
 
 	cr := cur.conflict
 	if !cr.Enabled {
@@ -284,6 +302,86 @@ func render(w io.Writer, prev, cur *snapshot, k int) {
 			fmt.Fprintf(w, "  %-12s %12s  %8d ops\n", r,
 				time.Duration(cr.WastedNs[r]).Round(time.Microsecond), cr.WastedOps[r])
 		}
+	}
+}
+
+// counterDelta computes a monotonic-counter delta, detecting resets: when the
+// current reading is below the previous one the scraped process restarted (or
+// a new benchmark point replaced the System), and the raw uint64 subtraction
+// would wrap to an absurd positive rate. It reports ok=false instead; the
+// caller shows a reset note for one frame and re-syncs on the next poll.
+func counterDelta(cur, prev uint64) (uint64, bool) {
+	if cur < prev {
+		return 0, false
+	}
+	return cur - prev, true
+}
+
+// sparkRunes is the 8-level block ramp used for sparklines.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders vals as a fixed-height sparkline, scaled to the series max.
+// An all-zero series renders as a flat baseline.
+func spark(vals []float64) string {
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		idx := 0
+		if max > 0 && v > 0 {
+			idx = int(v / max * float64(len(sparkRunes)-1))
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+		}
+		out[i] = sparkRunes[idx]
+	}
+	return string(out)
+}
+
+// renderTimeSeries prints the windowed-telemetry panel: sparklines over the
+// recent windows for throughput, abort rate and p99, then one status line per
+// declared SLO with its multi-window burn rates.
+func renderTimeSeries(w io.Writer, ts obs.TimeSeriesReport) {
+	if !ts.Enabled || len(ts.Recent) == 0 {
+		return
+	}
+	n := len(ts.Recent)
+	commits := make([]float64, n)
+	abortPct := make([]float64, n)
+	p99 := make([]float64, n)
+	for i, win := range ts.Recent {
+		if win.DurNs > 0 {
+			commits[i] = float64(win.Counters["commits"]) / (float64(win.DurNs) / 1e9)
+		}
+		abortPct[i] = 100 * win.AbortRate
+		p99[i] = float64(win.P99TotalNs)
+	}
+	last := ts.Recent[n-1]
+	fmt.Fprintf(w, "\ntimeseries (%v windows, %d held, seq %d)\n",
+		time.Duration(ts.IntervalNs), ts.Windows, ts.Seq)
+	fmt.Fprintf(w, "  commits/s  %s  %8.0f\n", spark(commits), commits[n-1])
+	fmt.Fprintf(w, "  abort %%    %s  %7.1f%%\n", spark(abortPct), abortPct[n-1])
+	fmt.Fprintf(w, "  p99 total  %s  %8s\n", spark(p99), fmtLatNs(last.P99TotalNs))
+	for _, s := range ts.SLOs {
+		status := "ok"
+		if s.Firing {
+			status = "FIRING"
+		}
+		fmt.Fprintf(w, "  slo %-18s %-6s fast %5.2fx  slow %5.2fx  alerts %d  (%s, burn>=%.1fx)\n",
+			s.Name, status, s.FastBurn, s.SlowBurn, s.Alerts, s.Objective, s.Burn)
+	}
+	if ts.AlertsTotal > 0 {
+		fmt.Fprintf(w, "  alerts total %d", ts.AlertsTotal)
+		if len(ts.Alerts) > 0 {
+			a := ts.Alerts[len(ts.Alerts)-1]
+			fmt.Fprintf(w, "  last: %s at seq %d (fast %.1fx slow %.1fx)", a.SLO, a.Seq, a.FastBurn, a.SlowBurn)
+		}
+		fmt.Fprintln(w)
 	}
 }
 

@@ -46,6 +46,26 @@ const cannedVars = `{
     "server": [
       {"phase": "collect", "count": 30, "p50_ns": 1100, "p99_ns": 5200, "max_ns": 9000}
     ]
+  },
+  "stm_timeseries": {
+    "enabled": true,
+    "interval_ns": 25000000,
+    "capacity": 64,
+    "windows": 3,
+    "seq": 3,
+    "recent": [
+      {"unix_nanos": 1, "dur_ns": 25000000, "counters": {"commits": 250}, "abort_rate": 0, "p50_total_ns": 400, "p99_total_ns": 900},
+      {"unix_nanos": 2, "dur_ns": 25000000, "counters": {"commits": 100, "aborts": 300}, "abort_rate": 0.75, "p50_total_ns": 900, "p99_total_ns": 52000},
+      {"unix_nanos": 3, "dur_ns": 25000000, "counters": {"commits": 90, "aborts": 310}, "abort_rate": 0.775, "p50_total_ns": 1000, "p99_total_ns": 61000}
+    ],
+    "slos": [
+      {"name": "abort-rate", "kind": "abort-rate", "objective": "abort-rate<=0.15", "fast": "200ms", "slow": "600ms", "burn_threshold": 2, "fast_burn": 5.1, "slow_burn": 2.2, "firing": true, "alerts": 1}
+    ],
+    "alerts": [
+      {"slo": "abort-rate", "unix_nanos": 3, "seq": 3, "fast_burn": 5.1, "slow_burn": 2.2, "burn_threshold": 2,
+       "window": {"unix_nanos": 3, "dur_ns": 25000000, "abort_rate": 0.775, "p50_total_ns": 1000, "p99_total_ns": 61000}}
+    ],
+    "alerts_total": 1
   }
 }`
 
@@ -84,10 +104,67 @@ func TestDecodeAndRender(t *testing.T) {
 		"server",
 		"collect", // server phase row
 		"5.2µs",   // its p99, µs formatting
+		"timeseries (25ms windows, 3 held, seq 3)",
+		"commits/s",
+		"abort %",
+		"p99 total",
+		"slo abort-rate",
+		"FIRING",
+		"alerts total 1",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestCounterReset fabricates a scrape pair where the source restarted
+// between polls (current counters below the previous ones). The raw uint64
+// subtraction would wrap to a ~1.8e19 "rate"; the dashboard must instead show
+// a reset note and carry no bogus rate, then re-sync on the next frame.
+func TestCounterReset(t *testing.T) {
+	if d, ok := counterDelta(500, 200); !ok || d != 300 {
+		t.Errorf("monotonic delta: got (%d, %v)", d, ok)
+	}
+	if d, ok := counterDelta(200, 500); ok || d != 0 {
+		t.Errorf("reset delta should clamp to (0, false): got (%d, %v)", d, ok)
+	}
+
+	cur, err := decode(strings.NewReader(cannedVars))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := &snapshot{at: cur.at.Add(-time.Second), hasSTM: true}
+	prev.stm.Commits, prev.stm.Aborts = 1_000_000, 50_000 // restart: prev > cur
+
+	var b strings.Builder
+	render(&b, prev, cur, 8)
+	out := b.String()
+	if !strings.Contains(out, "counter reset detected") {
+		t.Errorf("render missing reset note:\n%s", out)
+	}
+	if strings.Contains(out, "aborts/s") { // the rate line's suffix; the sparkline label is "commits/s" alone
+		t.Errorf("render emitted a rate line across a reset:\n%s", out)
+	}
+
+	// Next frame: prev re-synced to the post-restart snapshot, rates resume.
+	resynced := &snapshot{at: cur.at.Add(-time.Second), hasSTM: true}
+	resynced.stm.Commits, resynced.stm.Aborts = 3000, 700
+	b.Reset()
+	render(&b, resynced, cur, 8)
+	if !strings.Contains(b.String(), "200 commits/s") {
+		t.Errorf("render did not resume rates after re-sync:\n%s", b.String())
+	}
+}
+
+// TestSpark pins the sparkline scaling: max maps to the tallest block, zero
+// to the baseline, and an all-zero series stays flat.
+func TestSpark(t *testing.T) {
+	if got := spark([]float64{0, 25, 50, 100}); got != "▁▂▄█" {
+		t.Errorf("spark ramp: got %q", got)
+	}
+	if got := spark([]float64{0, 0, 0}); got != "▁▁▁" {
+		t.Errorf("all-zero spark: got %q", got)
 	}
 }
 

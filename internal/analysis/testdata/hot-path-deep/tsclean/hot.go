@@ -1,0 +1,32 @@
+// The windowed-telemetry split done right: the sampler goroutine reads the
+// wall clock freely — it is not reachable from any hot-path root — while the
+// transaction path touches only the engine's nil-guarded accessor. Zero
+// diagnostics expected.
+package hot
+
+import "time"
+
+type engine struct {
+	on       bool
+	interval time.Duration
+}
+
+// enabled is the hot-path-facing accessor: a branch on a field, nothing more.
+func (e *engine) enabled() bool { return e != nil && e.on }
+
+//stm:hotpath
+func commit(e *engine) int {
+	if e.enabled() {
+		return 1
+	}
+	return 0
+}
+
+// sampleLoop is the cold sampler: unannotated and never called from a
+// hot-path root, so its clock reads are fine.
+func sampleLoop(e *engine, push func(int64)) {
+	for i := 0; i < 3; i++ {
+		push(time.Now().UnixNano())
+		time.Sleep(e.interval)
+	}
+}

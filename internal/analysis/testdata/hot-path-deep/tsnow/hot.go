@@ -1,0 +1,26 @@
+// The windowed-telemetry split done wrong: the hot path calls what looks
+// like a cheap telemetry accessor, but the accessor takes its own timestamp,
+// putting a clock read on the transaction critical path two calls below the
+// annotated frontier.
+package hot
+
+import "time"
+
+type engine struct {
+	windowEnd int64
+}
+
+// windowAge looks like a field read but stamps the clock.
+func (e *engine) windowAge() int64 { return stampNow() - e.windowEnd }
+
+func stampNow() int64 {
+	return time.Now().UnixNano() // want hot-path-deep
+}
+
+//stm:hotpath
+func commit(e *engine) int {
+	if e.windowAge() > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"github.com/ssrg-vt/rinval/stm"
+)
+
+// SLOBurnOpts parameterizes the SLO burn-rate experiment: two runs of the
+// same engine under the windowed telemetry engine with declared objectives.
+// The control run works disjoint per-client Vars for the whole duration and
+// must stay silent (zero alerts — the multi-window rule's false-positive
+// guarantee). The phase-change run works disjoint Vars for Steady, then
+// every client hammers one shared Var for Spike: the abort rate jumps from
+// ~0 to ~(n-1)/n, the fast and slow windows both burn the error budget, and
+// the abort-rate SLO must alert — while the deliberately generous latency
+// SLO stays silent in both runs.
+type SLOBurnOpts struct {
+	Algo     stm.Algo      // engine under test (default RInvalV2)
+	Clients  int           // worker goroutines (default 6)
+	Interval time.Duration // sampling window (default 25ms)
+	Steady   time.Duration // disjoint-keys phase (default 1.2s)
+	Spike    time.Duration // shared-key phase (default 900ms)
+	Seed     uint64
+}
+
+// withDefaults fills unset knobs.
+func (o SLOBurnOpts) withDefaults() SLOBurnOpts {
+	if o.Algo == 0 {
+		o.Algo = stm.RInvalV2
+	}
+	if o.Clients == 0 {
+		o.Clients = 6
+	}
+	if o.Interval == 0 {
+		o.Interval = 25 * time.Millisecond
+	}
+	if o.Steady == 0 {
+		o.Steady = 1200 * time.Millisecond
+	}
+	if o.Spike == 0 {
+		o.Spike = 900 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// slos returns the experiment's objectives, sized in sampling windows: the
+// fast window spans 8 intervals, the slow 24. The abort-rate objective is
+// tight enough that the planted phase change must trip it; the latency
+// objective is generous enough that neither run may.
+func (o SLOBurnOpts) slos() []stm.SLO {
+	fast, slow := 8*o.Interval, 24*o.Interval
+	return []stm.SLO{
+		{Kind: stm.SLOAbortRate, MaxRate: 0.15, Fast: fast, Slow: slow},
+		{Kind: stm.SLOLatencyP99, MaxNs: uint64(50 * time.Millisecond), Fast: fast, Slow: slow},
+	}
+}
+
+// SLOBurnRun is one run's outcome.
+type SLOBurnRun struct {
+	Name       string `json:"name"`
+	DurationNs int64  `json:"duration_ns"`
+	Commits    uint64 `json:"commits"`
+	Aborts     uint64 `json:"aborts"`
+	// AbortRate is the whole-run cumulative rate, for contrast with the
+	// windowed rates the alerts are evaluated on.
+	AbortRate float64 `json:"abort_rate"`
+	Windows   int     `json:"windows"`
+	// PhaseChangeUnixNanos timestamps the planted workload flip (0 on the
+	// control run); AlertsBefore/AlertsAfter classify alerts against it.
+	PhaseChangeUnixNanos int64           `json:"phase_change_unix_nanos,omitempty"`
+	AlertsBefore         int             `json:"alerts_before_change"`
+	AlertsAfter          int             `json:"alerts_after_change"`
+	Alerts               []stm.SLOAlert  `json:"alerts,omitempty"`
+	SLOs                 []stm.SLOStatus `json:"slos"`
+	// Recent is the trailing window list (oldest first): the rate shift and
+	// the burn crossing, readable straight out of the JSON.
+	Recent []stm.TSWindowReport `json:"recent,omitempty"`
+}
+
+// SLOBurnReport is the full experiment, serialized to BENCH_slo_burn.json.
+type SLOBurnReport struct {
+	Algo       string     `json:"algo"`
+	Clients    int        `json:"clients"`
+	IntervalNs int64      `json:"interval_ns"`
+	SteadyNs   int64      `json:"steady_ns"`
+	SpikeNs    int64      `json:"spike_ns"`
+	Objectives []stm.SLO  `json:"objectives"`
+	Workload   string     `json:"workload"`
+	Control    SLOBurnRun `json:"control"`
+	PhaseShift SLOBurnRun `json:"phase_change"`
+}
+
+// RunSLOBurn executes both runs and cross-checks the expected outcome:
+// the control must record zero alerts, the phase-change run at least one
+// abort-rate alert after the flip and none before it.
+func RunSLOBurn(o SLOBurnOpts) (*SLOBurnReport, error) {
+	o = o.withDefaults()
+	rep := &SLOBurnReport{
+		Algo:       o.Algo.String(),
+		Clients:    o.Clients,
+		IntervalNs: int64(o.Interval),
+		SteadyNs:   int64(o.Steady),
+		SpikeNs:    int64(o.Spike),
+		Objectives: o.slos(),
+		Workload:   "read-modify-write: one private Var per client; the phase-change run flips every client onto one shared Var",
+	}
+	var err error
+	if rep.Control, err = runSLOBurnRun("steady-control", o, false); err != nil {
+		return nil, err
+	}
+	if rep.PhaseShift, err = runSLOBurnRun("phase-change", o, true); err != nil {
+		return nil, err
+	}
+	if n := len(rep.Control.Alerts); n != 0 {
+		return nil, fmt.Errorf("bench: sloburn control run recorded %d alerts, want 0 (false positives)", n)
+	}
+	if rep.PhaseShift.AlertsBefore != 0 {
+		return nil, fmt.Errorf("bench: sloburn phase-change run alerted %d times before the flip", rep.PhaseShift.AlertsBefore)
+	}
+	if rep.PhaseShift.AlertsAfter == 0 {
+		return nil, fmt.Errorf("bench: sloburn phase-change run never alerted after the flip")
+	}
+	return rep, nil
+}
+
+// runSLOBurnRun drives one run: Steady of disjoint work, then (withSpike)
+// Spike of fully shared work.
+func runSLOBurnRun(name string, o SLOBurnOpts, withSpike bool) (SLOBurnRun, error) {
+	inv := o.Clients
+	if inv > 4 {
+		inv = 4
+	}
+	// Ring sized to retain the whole run plus slack, so the report's window
+	// list covers both phases end to end.
+	capacity := int((o.Steady+o.Spike)/o.Interval) + 16
+	sys, err := stm.New(stm.Config{
+		Algo:               o.Algo,
+		MaxThreads:         o.Clients,
+		InvalServers:       inv,
+		TimeSeries:         capacity,
+		TimeSeriesInterval: o.Interval,
+		SLOs:               o.slos(),
+		LatencySampleEvery: 4,
+		Seed:               o.Seed,
+	})
+	if err != nil {
+		return SLOBurnRun{}, err
+	}
+	liveSys.Store(sys) // -metrics serves this run's expvar view (stmtop's sparkline panel)
+	private := make([]*stm.Var[int], o.Clients)
+	for i := range private {
+		private[i] = stm.NewVar(0)
+	}
+	shared := stm.NewVar(0)
+	ths := make([]*stm.Thread, o.Clients)
+	for i := range ths {
+		if ths[i], err = sys.Register(); err != nil {
+			sys.Close()
+			return SLOBurnRun{}, err
+		}
+	}
+	var spike, stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make([]error, o.Clients)
+	start := time.Now()
+	for w := 0; w < o.Clients; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clientLabeled(w, func() {
+				for !stop.Load() {
+					v := private[w]
+					if spike.Load() {
+						v = shared
+					}
+					errs[w] = ths[w].Atomically(func(tx *stm.Tx) error {
+						x := v.Load(tx)
+						v.Store(tx, x+1)
+						return nil
+					})
+					if errs[w] != nil {
+						return
+					}
+				}
+			})
+		}()
+	}
+	time.Sleep(o.Steady)
+	var changeNs int64
+	if withSpike {
+		changeNs = time.Now().UnixNano()
+		spike.Store(true)
+	}
+	time.Sleep(o.Spike)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i := range ths {
+		ths[i].Close()
+	}
+	st := sys.Stats()
+	liveSys.CompareAndSwap(sys, nil)
+	// Close first: the sampler takes a final window on shutdown, so the
+	// report read below retains the tail of the spike.
+	if err := sys.Close(); err != nil {
+		return SLOBurnRun{}, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return SLOBurnRun{}, e
+		}
+	}
+	ts := sys.TimeSeriesReport()
+	run := SLOBurnRun{
+		Name:                 name,
+		DurationNs:           elapsed.Nanoseconds(),
+		Commits:              st.Commits,
+		Aborts:               st.Aborts,
+		AbortRate:            st.AbortRate(),
+		Windows:              ts.Windows,
+		PhaseChangeUnixNanos: changeNs,
+		Alerts:               ts.Alerts,
+		SLOs:                 ts.SLOs,
+		Recent:               ts.Recent,
+	}
+	for _, a := range ts.Alerts {
+		if changeNs != 0 && a.UnixNanos >= changeNs {
+			run.AlertsAfter++
+		} else {
+			run.AlertsBefore++
+		}
+	}
+	return run, nil
+}
+
+// WriteJSON serializes the report.
+func (r *SLOBurnReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// Format renders both runs as an aligned table plus the alert log.
+func (r *SLOBurnReport) Format(w io.Writer) {
+	fmt.Fprintf(w, "SLO burn-rate monitor: %s, %d clients, %v windows (fast %v / slow %v)\n",
+		r.Algo, r.Clients, time.Duration(r.IntervalNs),
+		8*time.Duration(r.IntervalNs), 24*time.Duration(r.IntervalNs))
+	fmt.Fprintf(w, "workload: %s\n", r.Workload)
+	tw := tabwriter.NewWriter(w, 2, 2, 2, ' ', 0)
+	fmt.Fprintln(tw, "run\tcommits\taborts\tabort rate\twindows\talerts(before/after)")
+	for _, run := range []*SLOBurnRun{&r.Control, &r.PhaseShift} {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%d\t%d/%d\n",
+			run.Name, run.Commits, run.Aborts, run.AbortRate, run.Windows,
+			run.AlertsBefore, run.AlertsAfter)
+	}
+	tw.Flush()
+	for _, a := range r.PhaseShift.Alerts {
+		fmt.Fprintf(w, "alert: %s at window seq %d — fast %.1fx, slow %.1fx (threshold %.1fx), window abort rate %.2f\n",
+			a.SLO, a.Seq, a.FastBurn, a.SlowBurn, a.Burn, a.Window.AbortRate)
+	}
+	for _, s := range r.PhaseShift.SLOs {
+		fmt.Fprintf(w, "slo %s (%s): firing=%v fast=%.2fx slow=%.2fx alerts=%d\n",
+			s.Name, s.Objective, s.Firing, s.FastBurn, s.SlowBurn, s.Alerts)
+	}
+}

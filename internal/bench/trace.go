@@ -64,16 +64,37 @@ func init() {
 		}
 		return sys.LatencyReport()
 	})
+	// Windowed telemetry for cmd/stmtop's sparkline panel and the JSON
+	// endpoint.
+	obs.Publish("stm_timeseries", func() any {
+		sys := liveSys.Load()
+		if sys == nil {
+			return nil
+		}
+		return sys.TimeSeriesReport()
+	})
+	obs.PublishTimeSeries(func() *obs.TimeSeriesReport {
+		sys := liveSys.Load()
+		if sys == nil {
+			return nil
+		}
+		rep := sys.TimeSeriesReport()
+		return &rep
+	})
 	obs.PublishOpenMetrics(func() obs.MetricsPage {
 		sys := liveSys.Load()
 		if sys == nil {
 			return obs.MetricsPage{}
 		}
-		return obs.MetricsPage{
+		page := obs.MetricsPage{
 			Conflict: sys.ConflictReport(),
 			Latency:  sys.LatencyReport(),
 			Server:   sys.ServerPhaseHistograms(),
 		}
+		if rep := sys.TimeSeriesReport(); rep.Enabled {
+			page.TimeSeries = &rep
+		}
+		return page
 	})
 }
 

@@ -216,6 +216,31 @@ type Config struct {
 	// so a sustained incident produces one bundle, not one per tick.
 	// Default 10s.
 	FlightCooldown time.Duration
+	// TimeSeries enables the windowed telemetry engine (DESIGN.md §15): a
+	// sampler goroutine snapshots the cumulative counters and latency
+	// histograms every TimeSeriesInterval and delta-encodes them into a
+	// bounded ring, exposing windowed rates, moving quantiles, and SLO burn
+	// rates via System.TimeSeriesReport, the /debug/stm/timeseries endpoint,
+	// and /metrics gauges. The value is the ring capacity in windows
+	// (DefaultTimeSeriesWindows = 600 ≈ 10 min at the default 1 s interval);
+	// values 2..65536 are accepted. 0 (the default) disables the engine
+	// entirely: no sampler goroutine, no ring memory, and zero hot-path cost
+	// — the engine has no per-transaction record sites at all, it only reads
+	// counters the other knobs already maintain. Implies Latency (the
+	// windowed quantiles delta the latency recorder's histograms).
+	TimeSeries int
+	// TimeSeriesInterval is the sampler's window length. Default 1s;
+	// minimum 1ms.
+	TimeSeriesInterval time.Duration
+	// SLOs declares service-level objectives the time-series engine
+	// evaluates every window with multi-window burn rates (obs.SLO: a fast
+	// and a slow trailing window must both burn the error budget past the
+	// threshold before an alert fires — the SRE rule that ignores blips but
+	// catches slow bleeds). Alerts land in the report, the /metrics
+	// stm_slo_* gauges, and — when FlightRecorder is armed — trigger a
+	// flight dump carrying the tripping window. Setting SLOs with
+	// TimeSeries == 0 enables the engine at DefaultTimeSeriesWindows.
+	SLOs []obs.SLO
 	// Trace enables lifecycle event tracing: every client thread and server
 	// goroutine records begin/read-wait/commit/abort/epoch/invalidation
 	// events with nanosecond timestamps into a fixed-capacity per-actor ring
@@ -303,6 +328,36 @@ func (c Config) withDefaults() (Config, error) {
 		// The anomaly detector runs off the windowed latency p99; arming the
 		// flight recorder forces the decomposition on.
 		c.Latency = true
+	}
+	if len(c.SLOs) > 0 && c.TimeSeries == 0 {
+		c.TimeSeries = DefaultTimeSeriesWindows
+	}
+	if c.TimeSeries != 0 {
+		if c.TimeSeries < 2 || c.TimeSeries > 1<<16 {
+			return c, fmt.Errorf("core: TimeSeries %d out of range [2,65536] (or 0 to disable)", c.TimeSeries)
+		}
+		if c.TimeSeriesInterval == 0 {
+			c.TimeSeriesInterval = time.Second
+		}
+		if c.TimeSeriesInterval < time.Millisecond {
+			return c, fmt.Errorf("core: TimeSeriesInterval %v below 1ms", c.TimeSeriesInterval)
+		}
+		// The windowed quantiles delta the latency recorder's histograms.
+		c.Latency = true
+		// Copy before normalizing so the caller's slice is never mutated.
+		c.SLOs = append([]obs.SLO(nil), c.SLOs...)
+		names := make(map[string]bool, len(c.SLOs))
+		for i := range c.SLOs {
+			o, err := c.SLOs[i].Normalize(c.TimeSeriesInterval, c.TimeSeries)
+			if err != nil {
+				return c, fmt.Errorf("core: SLOs[%d]: %w", i, err)
+			}
+			if names[o.Name] {
+				return c, fmt.Errorf("core: duplicate SLO name %q", o.Name)
+			}
+			names[o.Name] = true
+			c.SLOs[i] = o
+		}
 	}
 	if c.LatencySampleEvery == 0 {
 		c.LatencySampleEvery = 64

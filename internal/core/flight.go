@@ -24,6 +24,9 @@ func (s *System) DumpFlightBundle(reason string) (string, error) {
 		Trace:     obs.SnapshotTracer(s.tracer),
 		Stacks:    obs.AllStacks(),
 	}
+	if rep := s.tseries.Report(); rep.Enabled {
+		b.TimeSeries = &rep
+	}
 	return b.WriteFile(s.cfg.FlightDir)
 }
 
@@ -38,6 +41,9 @@ type flightState struct {
 	prevAborts  uint64
 	prevEpochs  []uint64
 	prevPending []bool
+	// prevAlerts is the SLO-trigger watermark: the time-series engine's
+	// alert count as of the last tick. New alerts between ticks trip a dump.
+	prevAlerts uint64
 }
 
 func (s *System) newFlightState() *flightState {
@@ -78,6 +84,19 @@ func (s *System) flightTick(fs *flightState) string {
 		}
 		if stalled >= 0 {
 			return fmt.Sprintf("commit-server stall: slot %d pending across two ticks with no epoch progress", stalled)
+		}
+	}
+
+	// SLO burn-rate trigger: the time-series engine recorded a multi-window
+	// burn alert since the last tick. Better grounded than the EWMA detector
+	// — the thresholds are declared objectives, not learned baselines — so
+	// it is checked first; the bundle's TimeSeries section carries the
+	// alert with the window that tripped it.
+	if n := s.tseries.AlertCount(); n > fs.prevAlerts {
+		fs.prevAlerts = n
+		if a, ok := s.tseries.LastAlert(); ok {
+			return fmt.Sprintf("slo burn: %s fast=%.2fx slow=%.2fx (threshold %.2fx)",
+				a.SLO, a.FastBurn, a.SlowBurn, a.Burn)
 		}
 	}
 

@@ -202,6 +202,12 @@ type System struct {
 	// detector's tick sleep immediately instead of waiting out the interval.
 	flightStop chan struct{}
 
+	// tseries is the windowed telemetry engine when cfg.TimeSeries > 0; nil
+	// otherwise (nil-receiver no-op discipline, like attr and lat). tsStop
+	// ends its sampler goroutine, mirroring flightStop.
+	tseries *obs.TimeSeries
+	tsStop  chan struct{}
+
 	regMu     sync.Mutex
 	freeSlots []int
 	live      map[*Thread]struct{}
@@ -291,6 +297,9 @@ func newSystem(cfg Config) (*System, error) {
 		s.lat = obs.NewLatencyRecorder(cfg.MaxThreads,
 			cfg.Shards*(1+s.nInvalPerShard), cfg.LatencySampleEvery)
 	}
+	if cfg.TimeSeries > 0 {
+		s.tseries = obs.NewTimeSeries(cfg.TimeSeries, cfg.TimeSeriesInterval, cfg.SLOs)
+	}
 
 	switch cfg.Algo {
 	case Mutex:
@@ -324,6 +333,15 @@ func newSystem(cfg Config) (*System, error) {
 // its task name so CPU/goroutine profiles attribute server time separately
 // from client time.
 func (s *System) startServers() {
+	if s.tseries != nil {
+		s.tsStop = make(chan struct{})
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			pprof.Do(context.Background(), pprof.Labels("stm-role", "timeseries-sampler"),
+				func(context.Context) { s.tsLoop() })
+		}()
+	}
 	if s.cfg.FlightRecorder {
 		s.flightStop = make(chan struct{})
 		s.wg.Add(1)
@@ -383,6 +401,9 @@ func (s *System) Close() error {
 	s.stop.Store(true)
 	if s.flightStop != nil {
 		close(s.flightStop)
+	}
+	if s.tsStop != nil {
+		close(s.tsStop)
 	}
 	s.wg.Wait()
 	s.retired.Add(s.eng.serverStats())

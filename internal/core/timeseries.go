@@ -1,0 +1,99 @@
+// Windowed-telemetry sampling: the core half of Config.TimeSeries
+// (DESIGN.md §15). A single sampler goroutine assembles one cumulative
+// obs.TSSample per interval — from System.Stats' atomic counter snapshots,
+// the live commit-servers' epoch counters, attribution totals, and the
+// latency recorder's client-phase histograms — and pushes it into the obs
+// engine, which delta-encodes and evaluates SLO burn rates. The sampler is
+// the only goroutine that may read the clock here; nothing reachable from a
+// //stm:hotpath root touches this file (enforced by stmlint's tsclean/tsnow
+// fixtures).
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/ssrg-vt/rinval/internal/obs"
+)
+
+// DefaultTimeSeriesWindows is the ring capacity Config.TimeSeries defaults
+// to when SLOs are declared without an explicit window count: 600 windows
+// is 10 minutes of history at the default 1 s interval.
+const DefaultTimeSeriesWindows = 600
+
+// collectTSSample assembles one cumulative observation as of nowNanos.
+// Alloc-free: Stats() copies values, the server counters are individual
+// atomic loads, and the phase histograms merge into the sample in place.
+func (s *System) collectTSSample(nowNanos int64) obs.TSSample {
+	var smp obs.TSSample
+	smp.UnixNanos = nowNanos
+	st := s.Stats()
+	c := &smp.Counters
+	c[obs.TSCommits] = st.Commits
+	c[obs.TSAborts] = st.Aborts
+	c[obs.TSAbortInvalidated] = st.AbortReasons[AbortInvalidated]
+	c[obs.TSAbortValidation] = st.AbortReasons[AbortValidation]
+	c[obs.TSAbortSelf] = st.AbortReasons[AbortSelf]
+	c[obs.TSAbortLocked] = st.AbortReasons[AbortLocked]
+	c[obs.TSAbortExplicit] = st.AbortReasons[AbortExplicit]
+	c[obs.TSReadOnly] = st.ReadOnly
+	c[obs.TSROCommits] = st.ROCommits
+	c[obs.TSROFallbacks] = st.ROFallbacks
+	c[obs.TSReads] = st.Reads
+	c[obs.TSWrites] = st.Writes
+	// Server-side activity lives in the server goroutines' Stats, which
+	// System.Stats only folds in after Close; read the live counters the way
+	// the flight recorder's stall watchdog does. The sampler joins before
+	// Close folds the server stats, so the two sources never double-count.
+	epochs, cross := st.Epochs, st.CrossShardCommits
+	if re, ok := s.eng.(*remoteEngine); ok {
+		for j := range re.srv {
+			epochs += atomic.LoadUint64(&re.srv[j].commitSrv.Epochs)
+			cross += atomic.LoadUint64(&re.srv[j].commitSrv.CrossShardCommits)
+		}
+	}
+	c[obs.TSEpochs] = epochs
+	c[obs.TSCrossShard] = cross
+	fpSampled, fpFalse, wastedNs := s.attr.Totals()
+	c[obs.TSBloomFPSampled] = fpSampled
+	c[obs.TSBloomFPFalse] = fpFalse
+	c[obs.TSWastedNs] = wastedNs
+	for i, p := range obs.TSPhases {
+		smp.Phases[i] = s.lat.ClientPhaseHistogram(p)
+	}
+	return smp
+}
+
+// tsTick takes one sample and pushes it into the engine. Split from tsLoop
+// so tests can drive windows deterministically with fabricated timestamps.
+func (s *System) tsTick(nowNanos int64) {
+	s.tseries.Push(s.collectTSSample(nowNanos))
+}
+
+// tsLoop is the sampler goroutine: an immediate baseline sample (the first
+// push only establishes the delta base), one sample per interval, and a
+// final sample on stop so short-lived systems still retain their last
+// window. Started by startServers when Config.TimeSeries > 0; stopped by
+// Close via tsStop.
+func (s *System) tsLoop() {
+	s.tsTick(time.Now().UnixNano())
+	ticker := time.NewTicker(s.cfg.TimeSeriesInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.tsStop:
+			s.tsTick(time.Now().UnixNano())
+			return
+		case <-ticker.C:
+			s.tsTick(time.Now().UnixNano())
+		}
+	}
+}
+
+// TimeSeriesReport returns the windowed-telemetry view: rates and moving
+// quantiles over the standard spans, recent windows, and SLO/alert state.
+// Safe to call while transactions run; Enabled=false when Config.TimeSeries
+// is off.
+func (s *System) TimeSeriesReport() obs.TimeSeriesReport {
+	return s.tseries.Report()
+}

@@ -141,6 +141,20 @@ func (h *Histogram) NonEmptyBuckets() []Bucket {
 	return out
 }
 
+// CountAbove returns the number of samples whose bucket lies entirely above
+// v — every sample whose bit length exceeds v's. Samples sharing v's bucket
+// are excluded (they may be at or below v), so the result is a conservative
+// lower bound on samples strictly greater than v, off by at most one
+// power-of-two bucket. The SLO burn-rate evaluation uses it as the
+// "requests over objective" numerator.
+func (h *Histogram) CountAbove(v uint64) uint64 {
+	var n uint64
+	for i := bits.Len64(v) + 1; i < numBuckets; i++ {
+		n += h.buckets[i]
+	}
+	return n
+}
+
 // Merge folds o into h.
 func (h *Histogram) Merge(o *Histogram) {
 	if o.count == 0 {

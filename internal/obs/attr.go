@@ -347,6 +347,25 @@ func (a *Attribution) Report(meta ReportMeta) ConflictReport {
 	return rep
 }
 
+// Totals sums the scalar attribution counters across slots without building
+// a report: sampled bloom FP checks, observed false positives, and wasted
+// nanoseconds over every abort reason. Alloc-free (the time-series sampler
+// calls it every window); nil-safe zeros when attribution is off.
+func (a *Attribution) Totals() (fpSampled, fpFalse, wastedNs uint64) {
+	if a == nil {
+		return 0, 0, 0
+	}
+	for i := range a.slots {
+		s := &a.slots[i]
+		fpSampled += atomic.LoadUint64(&s.fpSampled)
+		fpFalse += atomic.LoadUint64(&s.fpFalse)
+		for _, r := range AbortReasons {
+			wastedNs += atomic.LoadUint64(&s.wastedNs[r])
+		}
+	}
+	return fpSampled, fpFalse, wastedNs
+}
+
 // topK aggregates raw reservoir samples into the k most-sampled Vars.
 func topK(sample []uint64, k int, nameOf func(uint64) string) []HotVar {
 	if len(sample) == 0 {
@@ -400,29 +419,36 @@ func (r *ConflictReport) TopKShare(k int) float64 {
 // exposition). Zero matrix cells are elided to keep the page proportional to
 // observed conflicts, not MaxThreads².
 func (r *ConflictReport) WriteOpenMetrics(w io.Writer) {
-	fmt.Fprintf(w, "# TYPE stm_commits counter\nstm_commits_total %d\n", r.Commits)
-	fmt.Fprintf(w, "# TYPE stm_aborts counter\n")
+	family(w, "stm_commits", "counter", "Committed transactions.")
+	fmt.Fprintf(w, "stm_commits_total %d\n", r.Commits)
+	family(w, "stm_aborts", "counter", "Transaction aborts by reason (conflict reasons plus explicit user aborts).")
 	for _, reason := range AbortReasons {
 		fmt.Fprintf(w, "stm_aborts_total{reason=%q} %d\n", reason.String(), r.AbortReasons[reason.String()])
 	}
-	fmt.Fprintf(w, "# TYPE stm_readonly counter\nstm_readonly_total %d\n", r.ReadOnly)
-	fmt.Fprintf(w, "# TYPE stm_ro_commits counter\nstm_ro_commits_total %d\n", r.ROCommits)
-	fmt.Fprintf(w, "# TYPE stm_ro_fallbacks counter\nstm_ro_fallbacks_total %d\n", r.ROFallbacks)
-	fmt.Fprintf(w, "# TYPE stm_attribution_enabled gauge\nstm_attribution_enabled %d\n", b2i(r.Enabled))
+	family(w, "stm_readonly", "counter", "Committed transactions that wrote nothing.")
+	fmt.Fprintf(w, "stm_readonly_total %d\n", r.ReadOnly)
+	family(w, "stm_ro_commits", "counter", "Read-only transactions committed on the multi-version snapshot path.")
+	fmt.Fprintf(w, "stm_ro_commits_total %d\n", r.ROCommits)
+	family(w, "stm_ro_fallbacks", "counter", "Snapshot read-only attempts that fell back to the regular path.")
+	fmt.Fprintf(w, "stm_ro_fallbacks_total %d\n", r.ROFallbacks)
+	family(w, "stm_attribution_enabled", "gauge", "Whether conflict attribution is collecting.")
+	fmt.Fprintf(w, "stm_attribution_enabled %d\n", b2i(r.Enabled))
 	if !r.Enabled {
 		return
 	}
-	fmt.Fprintf(w, "# TYPE stm_wasted_ns counter\n")
+	family(w, "stm_wasted_ns", "counter", "Wall-clock nanoseconds wasted in aborted attempts, by abort reason.")
 	for _, reason := range AbortReasons {
 		fmt.Fprintf(w, "stm_wasted_ns_total{reason=%q} %d\n", reason.String(), r.WastedNs[reason.String()])
 	}
-	fmt.Fprintf(w, "# TYPE stm_wasted_ops counter\n")
+	family(w, "stm_wasted_ops", "counter", "Transactional operations wasted in aborted attempts, by abort reason.")
 	for _, reason := range AbortReasons {
 		fmt.Fprintf(w, "stm_wasted_ops_total{reason=%q} %d\n", reason.String(), r.WastedOps[reason.String()])
 	}
-	fmt.Fprintf(w, "# TYPE stm_bloom_fp_checks counter\nstm_bloom_fp_checks_total %d\n", r.FP.Sampled)
-	fmt.Fprintf(w, "# TYPE stm_bloom_fp counter\nstm_bloom_fp_total{filter_bits=\"%d\"} %d\n", r.FilterBits, r.FP.FalsePositive)
-	fmt.Fprintf(w, "# TYPE stm_conflicts counter\n")
+	family(w, "stm_bloom_fp_checks", "counter", "Sampled exact-intersection bloom false-positive checks.")
+	fmt.Fprintf(w, "stm_bloom_fp_checks_total %d\n", r.FP.Sampled)
+	family(w, "stm_bloom_fp", "counter", "Sampled dooms whose exact read/write intersection was empty (bloom false positives).")
+	fmt.Fprintf(w, "stm_bloom_fp_total{filter_bits=\"%d\"} %d\n", r.FilterBits, r.FP.FalsePositive)
+	family(w, "stm_conflicts", "counter", "Who-aborted-whom matrix: invalidations by committer and victim slot.")
 	for c, row := range r.Matrix {
 		committer := fmt.Sprintf("%d", c)
 		if c == r.Slots {
@@ -435,7 +461,7 @@ func (r *ConflictReport) WriteOpenMetrics(w io.Writer) {
 			fmt.Fprintf(w, "stm_conflicts_total{committer=%q,victim=\"%d\"} %d\n", committer, v, n)
 		}
 	}
-	fmt.Fprintf(w, "# TYPE stm_hot_var_samples gauge\n")
+	family(w, "stm_hot_var_samples", "gauge", "Hot-var reservoir samples per conflicting Var (top-K).")
 	for _, hv := range r.HotVars {
 		label := hv.Name
 		if label == "" {

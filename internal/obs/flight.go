@@ -87,8 +87,12 @@ type FlightBundle struct {
 	UnixNanos int64          `json:"unix_nanos"`
 	Latency   LatencyReport  `json:"latency"`
 	Conflict  ConflictReport `json:"conflict"`
-	Trace     []ActorTrace   `json:"trace"`
-	Stacks    string         `json:"stacks"`
+	// TimeSeries is the windowed-telemetry report at dump time (nil when
+	// Config.TimeSeries is off). When the dump was triggered by an SLO
+	// burn-rate alert, its Alerts tail carries the window that tripped it.
+	TimeSeries *TimeSeriesReport `json:"timeseries,omitempty"`
+	Trace      []ActorTrace      `json:"trace"`
+	Stacks     string            `json:"stacks"`
 }
 
 // SnapshotTracer captures every ring of t into ActorTraces. Safe while

@@ -334,12 +334,14 @@ func WriteOpenMetricsHistogram(w io.Writer, name, labels string, h *histo.Histog
 // WriteOpenMetrics renders the report's phase histograms as the
 // stm_latency_ns family with phase/side labels.
 func (r *LatencyReport) WriteOpenMetrics(w io.Writer) {
-	fmt.Fprintf(w, "# TYPE stm_latency_enabled gauge\nstm_latency_enabled %d\n", b2i(r.Enabled))
+	family(w, "stm_latency_enabled", "gauge", "Whether the critical-path latency decomposition is collecting.")
+	fmt.Fprintf(w, "stm_latency_enabled %d\n", b2i(r.Enabled))
 	if !r.Enabled {
 		return
 	}
-	fmt.Fprintf(w, "# TYPE stm_latency_sampled_commits counter\nstm_latency_sampled_commits_total %d\n", r.SampledCommits)
-	fmt.Fprintf(w, "# TYPE stm_latency_ns histogram\n")
+	family(w, "stm_latency_sampled_commits", "counter", "Committed transactions sampled by the latency decomposition.")
+	fmt.Fprintf(w, "stm_latency_sampled_commits_total %d\n", r.SampledCommits)
+	family(w, "stm_latency_ns", "histogram", "Critical-path phase durations by phase and side, in nanoseconds.")
 	writeSide := func(side string, phases []LatencyPhase) {
 		for _, p := range phases {
 			labels := fmt.Sprintf("phase=%q,side=%q", p.Phase, side)

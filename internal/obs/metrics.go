@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -40,10 +41,28 @@ func Publish(name string, fn func() any) {
 	cell.Store(&fn)
 }
 
+// family writes one metric family's # HELP and # TYPE header. Every family
+// the package exposes goes through it, which is what the exposition
+// conformance test (every # TYPE has a matching # HELP) leans on.
+func family(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// serverFamilyHelp maps the server-side histogram families to their # HELP
+// text; families added by future engines fall back to a generic line rather
+// than omitting HELP (the conformance test requires one per TYPE).
+var serverFamilyHelp = map[string]string{
+	"stm_server_phase_ns":    "Commit-server per-epoch phase durations, in nanoseconds.",
+	"stm_server_queue_depth": "Pending commit requests observed by each epoch's collection scan.",
+	"stm_server_step_ahead":  "RInvalV3 step-ahead occupancy when each epoch started.",
+	"stm_batch_size":         "Group-commit batch sizes, one sample per epoch.",
+}
+
 // MetricsPage is everything one /metrics scrape exposes: the conflict
-// report's scalar counters, the critical-path latency histograms, and the
+// report's scalar counters, the critical-path latency histograms, the
 // commit-server phase histograms — the latter two as proper OpenMetrics
-// histogram families with cumulative le buckets.
+// histogram families with cumulative le buckets — and, when the windowed
+// telemetry engine is on, its rate/quantile/SLO gauges.
 type MetricsPage struct {
 	Conflict ConflictReport
 	Latency  LatencyReport
@@ -52,6 +71,9 @@ type MetricsPage struct {
 	// (family, label set) child; families are grouped for # TYPE lines in
 	// first-appearance order.
 	Server []NamedHistogram
+	// TimeSeries is the windowed-telemetry report, nil when
+	// Config.TimeSeries is off (the families are then absent entirely).
+	TimeSeries *TimeSeriesReport
 }
 
 // WriteOpenMetrics renders the whole page (no trailing # EOF; the handler
@@ -64,9 +86,16 @@ func (p *MetricsPage) WriteOpenMetrics(w io.Writer) {
 		nh := &p.Server[i]
 		if !typed[nh.Name] {
 			typed[nh.Name] = true
-			fmt.Fprintf(w, "# TYPE %s histogram\n", nh.Name)
+			help, ok := serverFamilyHelp[nh.Name]
+			if !ok {
+				help = "Server-side histogram family."
+			}
+			family(w, nh.Name, "histogram", help)
 		}
 		WriteOpenMetricsHistogram(w, nh.Name, nh.Labels, &nh.Hist)
+	}
+	if p.TimeSeries != nil {
+		p.TimeSeries.WriteOpenMetrics(w)
 	}
 }
 
@@ -92,19 +121,49 @@ func serveOpenMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# EOF\n")
 }
 
+// timeSeriesSource holds the current windowed-telemetry report source for
+// the /debug/stm/timeseries endpoint, swappable like the other publishers.
+var timeSeriesSource atomic.Pointer[func() *TimeSeriesReport]
+
+// PublishTimeSeries sets the report source behind /debug/stm/timeseries.
+// Later calls replace earlier ones (latest System wins). The source may
+// return nil (engine off), which the endpoint serves as enabled=false.
+func PublishTimeSeries(fn func() *TimeSeriesReport) {
+	timeSeriesSource.Store(&fn)
+}
+
+// serveTimeSeries renders the current windowed-telemetry report as JSON.
+func serveTimeSeries(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	var rep *TimeSeriesReport
+	if fn := timeSeriesSource.Load(); fn != nil {
+		rep = (*fn)()
+	}
+	if rep == nil {
+		rep = &TimeSeriesReport{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(rep) //nolint:errcheck // client hangup is the only failure
+}
+
 // ServeMetrics binds addr and serves the standard observability endpoints:
 //
-//	/metrics             OpenMetrics/Prometheus text (conflict attribution,
-//	                     abort taxonomy; see PublishOpenMetrics)
-//	/debug/vars          expvar (all Published funcs + Go runtime vars)
-//	/debug/pprof/...     net/http/pprof (profiles carry the goroutine
-//	                     labels core sets on client/server goroutines)
+//	/metrics                OpenMetrics/Prometheus text (conflict attribution,
+//	                        abort taxonomy, windowed rates/SLO gauges; see
+//	                        PublishOpenMetrics)
+//	/debug/stm/timeseries   windowed-telemetry report as JSON (see
+//	                        PublishTimeSeries)
+//	/debug/vars             expvar (all Published funcs + Go runtime vars)
+//	/debug/pprof/...        net/http/pprof (profiles carry the goroutine
+//	                        labels core sets on client/server goroutines)
 //
 // It returns the bound address (useful with ":0") and a shutdown func. The
 // server runs until the process exits or the shutdown func is called.
 func ServeMetrics(addr string) (string, func() error, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", serveOpenMetrics)
+	mux.HandleFunc("/debug/stm/timeseries", serveTimeSeries)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)

@@ -119,6 +119,37 @@ type LatencyPhase = obs.LatencyPhase
 // data); see System.ServerPhaseHistograms.
 type NamedHistogram = obs.NamedHistogram
 
+// TimeSeriesReport is the windowed-telemetry view collected when
+// Config.TimeSeries is set: rates and moving quantiles over trailing
+// windows, sparkline-ready recent windows, and the SLO burn-rate/alert
+// state. See System.TimeSeriesReport.
+type TimeSeriesReport = obs.TimeSeriesReport
+
+// TSWindowReport is one window of a TimeSeriesReport; SLOAlert and
+// SLOStatus are the objective evaluation entries it carries.
+type (
+	TSWindowReport = obs.TSWindowReport
+	SLOAlert       = obs.SLOAlert
+	SLOStatus      = obs.SLOStatus
+)
+
+// SLO declares one service-level objective for Config.SLOs; SLOKind selects
+// what it constrains.
+type (
+	SLO     = obs.SLO
+	SLOKind = obs.SLOKind
+)
+
+// SLO kinds (see the obs package for the burn-rate semantics).
+const (
+	SLOAbortRate  = obs.SLOAbortRate
+	SLOLatencyP99 = obs.SLOLatencyP99
+)
+
+// DefaultTimeSeriesWindows is the ring capacity Config.TimeSeries defaults
+// to when SLOs are declared without an explicit window count.
+const DefaultTimeSeriesWindows = core.DefaultTimeSeriesWindows
+
 // System is one STM instance: a global timestamp domain, a cache-aligned
 // requests array, and (for the RInval engines) the commit/invalidation
 // server goroutines.
@@ -211,6 +242,10 @@ func (s *System) LatencyReport() LatencyReport { return s.sys.LatencyReport() }
 func (s *System) ServerPhaseHistograms() []NamedHistogram {
 	return s.sys.ServerPhaseHistograms()
 }
+
+// TimeSeriesReport returns the windowed-telemetry view. Safe to call while
+// transactions run; Enabled=false when Config.TimeSeries is off.
+func (s *System) TimeSeriesReport() TimeSeriesReport { return s.sys.TimeSeriesReport() }
 
 // DumpFlightBundle writes a flight-recorder bundle (latency report, conflict
 // report, trace-ring snapshots, goroutine stacks) to Config.FlightDir and
